@@ -1,0 +1,37 @@
+// Shared helpers for the experiment benches E1..E9.
+//
+// Each bench binary regenerates one result of the paper (see DESIGN.md's
+// per-experiment index): it prints the experiment table(s) first -- that is
+// the reproduction artifact -- and then runs its google-benchmark timing
+// cases, so `for b in build/bench/*; do $b; done` produces both.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "util/table.hpp"
+
+namespace dasched::bench {
+
+inline double log2n(double n) { return std::log2(std::max(2.0, n)); }
+
+/// Prints the experiment header line used by EXPERIMENTS.md.
+inline void experiment_banner(const char* id, const char* claim) {
+  std::cout << "==================================================================\n"
+            << id << ": " << claim << "\n"
+            << "==================================================================\n\n";
+}
+
+}  // namespace dasched::bench
+
+#define DASCHED_BENCH_MAIN(print_tables_fn)               \
+  int main(int argc, char** argv) {                       \
+    print_tables_fn();                                    \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

@@ -1,0 +1,117 @@
+// E10 -- ablation: why local randomness sharing (Theorem 4.1), not a leader?
+//
+// The paper's Section 1: "clearly one can elect a leader to pick the required
+// initial 'shared' randomness and broadcast it ... [but] any such global
+// sharing procedure will need at least Omega(D) rounds, for D being the
+// network diameter, which is not desirable."
+//
+// This bench runs both pre-computation strategies -- as real CONGEST
+// protocols -- across topologies whose diameter/dilation ratio varies:
+// on low-diameter networks the leader wins; on high-diameter networks with
+// local workloads (dilation << diameter), Theorem 4.1's O(dilation log^2 n)
+// is diameter-independent and wins by an unbounded factor. Also included:
+// the doubling extension for unknown congestion (deferred by the paper to
+// its full version).
+#include "bench_common.hpp"
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sched/doubling.hpp"
+#include "sched/global_sharing.hpp"
+#include "sched/private_scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace dasched {
+namespace {
+
+void print_tables() {
+  bench::experiment_banner(
+      "E10 (locality ablation)",
+      "Theorem 4.1's local sharing vs leader broadcast; doubling for unknown C");
+
+  {
+    Table table("E10.a -- pre-computation: local (Thm 4.1) vs global (leader)");
+    table.set_header({"topology", "n", "diameter", "dilation", "global pre",
+                      "local pre", "local wins"});
+    struct Case {
+      std::string name;
+      Graph g;
+    };
+    Rng rng(10);
+    Case cases[] = {
+        {"gnp (low diam)", make_gnp_connected(200, 0.08, rng)},
+        {"torus 14x14", make_grid(14, 14, true)},
+        {"path 400", make_path(400)},
+        {"path 1500 (high diam)", make_path(1500)},
+        {"cycle 2000 (high diam)", make_cycle(2000)},
+    };
+    for (auto& c : cases) {
+      const auto diameter = exact_diameter(c.g);
+      // Local workload: 1-hop broadcasts (dilation 1), the regime where the
+      // paper's locality argument bites -- dilation << diameter.
+      auto p1 = make_broadcast_workload(c.g, 8, 1, 5);
+      GlobalSharingConfig gcfg;
+      gcfg.seed = 5;
+      const auto global = GlobalSharingScheduler(gcfg).run(*p1);
+      DASCHED_CHECK(global.sharing_complete);
+      DASCHED_CHECK(p1->verify(global.schedule.exec).ok());
+
+      auto p2 = make_broadcast_workload(c.g, 8, 1, 5);
+      PrivateSchedulerConfig pcfg;
+      pcfg.seed = 5;
+      const auto local = PrivateRandomnessScheduler(pcfg).run(*p2);
+      DASCHED_CHECK(p2->verify(local.exec).ok());
+
+      table.add_row({c.name, Table::fmt(std::uint64_t{c.g.num_nodes()}),
+                     Table::fmt(std::uint64_t{diameter}),
+                     Table::fmt(std::uint64_t{p1->dilation()}),
+                     Table::fmt(global.precomputation_rounds),
+                     Table::fmt(local.precomputation_rounds),
+                     local.precomputation_rounds < global.precomputation_rounds ? "yes"
+                                                                                : "no"});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    Table table("E10.b -- doubling for unknown congestion (gnp n = 150)");
+    table.set_header({"k", "true C", "successful guess", "attempts", "wasted rounds",
+                      "total rounds", "fitted rounds", "overhead"});
+    Rng rng(11);
+    const auto g = make_gnp_connected(150, 0.05, rng);
+    for (const std::size_t k : {4u, 16u, 64u}) {
+      auto p = make_mixed_workload(g, k, 4, 21);
+      p->run_solo();
+      const auto c = p->congestion();
+      const auto out = run_with_doubling(*p);
+      DASCHED_CHECK(p->verify(out.final.exec).ok());
+
+      // "Fitted" = the successful attempt alone, i.e. what an informed
+      // scheduler holding the right overflow-free estimate pays.
+      table.add_row({Table::fmt(std::uint64_t{k}), Table::fmt(std::uint64_t{c}),
+                     Table::fmt(std::uint64_t{out.successful_estimate}),
+                     Table::fmt(std::uint64_t{out.attempts}),
+                     Table::fmt(out.wasted_rounds), Table::fmt(out.total_rounds),
+                     Table::fmt(out.final.fixed.physical_rounds),
+                     Table::fmt(static_cast<double>(out.total_rounds) /
+                                    out.final.fixed.physical_rounds,
+                                2)});
+    }
+    table.print(std::cout);
+  }
+}
+
+void bm_global_sharing(benchmark::State& state) {
+  const auto g = make_path(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    auto p = make_bfs_workload(g, 4, 3, 5);
+    const auto out = GlobalSharingScheduler(GlobalSharingConfig{}).run(*p);
+    benchmark::DoNotOptimize(out.precomputation_rounds);
+  }
+}
+BENCHMARK(bm_global_sharing)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+DASCHED_BENCH_MAIN(dasched::print_tables)

@@ -1,0 +1,108 @@
+// E1 -- Theorem 1.1: with shared randomness, random phase delays schedule any
+// set of black-box algorithms in O(congestion + dilation * log n) rounds.
+//
+// Table 1 sweeps the network size at fixed workload density; Table 2 sweeps
+// the number of algorithms k at fixed n. Columns compare the realized
+// schedule against the trivial lower bound max(C, D) and the theorem's
+// budget C + D log2 n; "len/budget" staying bounded (and well below 1 for a
+// small constant) across the sweep is the theorem's content. Every run is
+// verified against solo executions.
+#include "bench_common.hpp"
+
+#include "graph/generators.hpp"
+#include "sched/baseline.hpp"
+#include "sched/delay_schedule.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace dasched {
+namespace {
+
+void run_row(Table& table, const Graph& g, std::size_t k, std::uint32_t radius,
+             std::uint64_t seed) {
+  auto problem = make_mixed_workload(g, k, radius, seed);
+  problem->run_solo();
+  const double c = problem->congestion();
+  const double d = problem->dilation();
+  const double budget = c + d * bench::log2n(g.num_nodes());
+
+  // One full verified execution...
+  SharedSchedulerConfig cfg;
+  cfg.shared_seed = seed;
+  const auto out = SharedRandomnessScheduler(cfg).run(*problem);
+  const bool ok = problem->verify(out.exec).ok();
+
+  // ...plus a 10-draw sweep via the combinatorial analyzer (identical loads,
+  // no program re-execution).
+  StatAccumulator lengths;
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    const auto delays = SharedRandomnessScheduler::draw_delays(
+        seed_combine(seed, s), problem->size(), std::max(1u, out.delay_range),
+        std::max<std::uint32_t>(2, static_cast<std::uint32_t>(bench::log2n(g.num_nodes()))));
+    lengths.add(static_cast<double>(delay_load_profile(*problem, delays).adaptive_rounds()));
+  }
+
+  table.add_row({Table::fmt(std::uint64_t{g.num_nodes()}), Table::fmt(std::uint64_t{k}),
+                 Table::fmt(std::uint64_t{problem->congestion()}),
+                 Table::fmt(std::uint64_t{problem->dilation()}),
+                 Table::fmt(out.schedule_rounds), Table::fmt(lengths.mean(), 1),
+                 Table::fmt(out.schedule_rounds / std::max(c, d), 2),
+                 Table::fmt(out.schedule_rounds / budget, 2), ok ? "yes" : "NO"});
+}
+
+void print_tables() {
+  bench::experiment_banner(
+      "E1 (Theorem 1.1)",
+      "shared-randomness schedule length = O(congestion + dilation log n)");
+
+  {
+    Table table("E1.a -- scaling n (mixed workload, k = 16, radius 4)");
+    table.set_header({"n", "k", "C", "D", "len", "len(mean10)", "len/max(C,D)",
+                      "len/(C+Dlog n)", "correct"});
+    for (const NodeId n : {100u, 200u, 400u, 800u, 1600u}) {
+      Rng rng(n);
+      const auto g = make_gnp_connected(n, 6.0 / n, rng);
+      run_row(table, g, 16, 4, 1000 + n);
+    }
+    table.print(std::cout);
+  }
+  {
+    Table table("E1.b -- scaling k (gnp n = 300, radius 4)");
+    table.set_header({"n", "k", "C", "D", "len", "len(mean10)", "len/max(C,D)",
+                      "len/(C+Dlog n)", "correct"});
+    Rng rng(300);
+    const auto g = make_gnp_connected(300, 6.0 / 300, rng);
+    for (const std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
+      run_row(table, g, k, 4, 2000 + k);
+    }
+    table.print(std::cout);
+  }
+  {
+    Table table("E1.c -- graph families (k = 16, radius 4)");
+    table.set_header({"n", "k", "C", "D", "len", "len(mean10)", "len/max(C,D)",
+                      "len/(C+Dlog n)", "correct"});
+    Rng rng(7);
+    run_row(table, make_grid(16, 16), 16, 4, 31);
+    run_row(table, make_grid(16, 16, true), 16, 4, 32);
+    run_row(table, make_binary_tree(255), 16, 4, 33);
+    run_row(table, make_random_regular(256, 4, rng), 16, 4, 34);
+    table.print(std::cout);
+  }
+}
+
+void bm_shared_scheduler(benchmark::State& state) {
+  Rng rng(5);
+  const auto g = make_gnp_connected(static_cast<NodeId>(state.range(0)), 0.03, rng);
+  for (auto _ : state) {
+    auto problem = make_mixed_workload(g, 8, 3, 5);
+    const auto out = SharedRandomnessScheduler{}.run(*problem);
+    benchmark::DoNotOptimize(out.schedule_rounds);
+  }
+}
+BENCHMARK(bm_shared_scheduler)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+DASCHED_BENCH_MAIN(dasched::print_tables)

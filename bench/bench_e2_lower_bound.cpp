@@ -1,0 +1,164 @@
+// E2 -- Theorem 3.1 / Figure 2: the hard instance family where no schedule
+// achieves O(congestion + dilation).
+//
+// Table 1 scales the hard family and reports the best schedule produced by
+// each scheduler, normalized by C + D; the normalized length *grows* with n
+// (like log n / log log n). For contrast, the same column is flat ~O(1) on
+// packet routing (bench E9 and the last table here).
+//
+// Table 2 measures the quantity the probabilistic-method proof manipulates:
+// with phases of log n / log log n rounds (the Remark's tuned schedule), the
+// fraction of phases whose max edge load overflows the phase length.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "lowerbound/hard_instance.hpp"
+#include "sched/baseline.hpp"
+#include "sched/moser_tardos.hpp"
+#include "sched/delay_schedule.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace dasched {
+namespace {
+
+void print_tables() {
+  bench::experiment_banner(
+      "E2 (Theorem 3.1, Figure 2)",
+      "hard instances need Omega(C + D log n / log log n) rounds");
+
+  {
+    Table table("E2.a -- best achieved schedule on the hard family, scaled");
+    table.set_header({"n", "L", "k", "C", "D", "greedy", "rnd-delay", "best/(C+D)",
+                      "log n/loglog n"});
+    for (const std::uint64_t n_target : {150ULL, 400ULL, 1200ULL, 3600ULL, 10800ULL}) {
+      const auto cfg = scaled_hard_instance_config(n_target, 11);
+      const auto g = make_layered(cfg.layers, cfg.width);
+
+      auto p1 = make_hard_instance(g, cfg);
+      const auto greedy = GreedyScheduler{}.run(*p1);
+      DASCHED_CHECK(p1->verify(greedy.exec).ok());
+
+      auto p2 = make_hard_instance(g, cfg);
+      // The Remark's tuned schedule: phases of ~log n / log log n rounds.
+      SharedSchedulerConfig scfg;
+      scfg.shared_seed = 13;
+      const double ln = std::log2(std::max<double>(4, g.num_nodes()));
+      scfg.phase_factor = 1.0 / std::max(1.0, std::log2(ln));
+      const auto shared = SharedRandomnessScheduler(scfg).run(*p2);
+      DASCHED_CHECK(p2->verify(shared.exec).ok());
+
+      const double cd = p1->congestion() + p1->dilation();
+      const auto best = std::min(greedy.schedule_rounds, shared.schedule_rounds);
+      table.add_row({Table::fmt(std::uint64_t{g.num_nodes()}),
+                     Table::fmt(std::uint64_t{cfg.layers}),
+                     Table::fmt(std::uint64_t{cfg.algorithms}),
+                     Table::fmt(std::uint64_t{p1->congestion()}),
+                     Table::fmt(std::uint64_t{p1->dilation()}),
+                     Table::fmt(greedy.schedule_rounds),
+                     Table::fmt(shared.schedule_rounds), Table::fmt(best / cd, 2),
+                     Table::fmt(ln / std::max(1.0, std::log2(ln)), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    Table table(
+        "E2.b -- anti-concentration: overflow of log n/loglog n-round phases");
+    table.set_header({"n", "phase len", "phases", "overflowing", "max edge load/phase"});
+    for (const std::uint64_t n_target : {150ULL, 400ULL, 1200ULL, 3600ULL, 10800ULL}) {
+      const auto cfg = scaled_hard_instance_config(n_target, 17);
+      const auto g = make_layered(cfg.layers, cfg.width);
+      auto problem = make_hard_instance(g, cfg);
+      problem->run_solo();
+      const double ln = std::log2(std::max<double>(4, g.num_nodes()));
+      const auto phase_len = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 std::lround(ln / std::max(1.0, std::log2(ln)))));
+      // Uniform delays over ~C/phase_len phases, 20 draws.
+      const auto range = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(problem->congestion() / phase_len));
+      std::uint64_t phases = 0;
+      std::uint64_t overflowing = 0;
+      std::uint32_t max_load = 0;
+      for (std::uint64_t s = 0; s < 20; ++s) {
+        const auto delays = SharedRandomnessScheduler::draw_delays(
+            seed_combine(19, s), problem->size(), range, 16);
+        const auto profile = delay_load_profile(*problem, delays);
+        const auto fixed = profile.fixed(phase_len);
+        phases += profile.num_phases();
+        overflowing += fixed.overflowing_phases;
+        max_load = std::max(max_load, profile.max_load);
+      }
+      table.add_row({Table::fmt(std::uint64_t{g.num_nodes()}),
+                     Table::fmt(std::uint64_t{phase_len}), Table::fmt(std::uint64_t{phases}),
+                     Table::fmt(std::uint64_t{overflowing}),
+                     Table::fmt(std::uint64_t{max_load})});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    Table table(
+        "E2.c -- contrast: packet routing admits ~(C+D) schedules (greedy and\n"
+        "constructive LLL/Moser-Tardos), the hard family does not");
+    table.set_header({"family", "n", "C", "D", "greedy/(C+D)", "MT frame=2C", "MT iters"});
+    for (const NodeId side : {8u, 12u, 16u}) {
+      const auto g = make_grid(side, side, true);
+      auto p = make_routing_workload(g, 3u * side, 23);
+      const auto out = GreedyScheduler{}.run(*p);
+      DASCHED_CHECK(p->verify(out.exec).ok());
+      auto pm = make_routing_workload(g, 3u * side, 23);
+      MoserTardosConfig mcfg;
+      mcfg.seed = 7;
+      mcfg.frame_factor = 2.0;
+      mcfg.max_iterations = 20000;
+      const auto mt = MoserTardosScheduler(mcfg).run(*pm);
+      const double cd = p->congestion() + p->dilation();
+      table.add_row({"routing/torus", Table::fmt(std::uint64_t{g.num_nodes()}),
+                     Table::fmt(std::uint64_t{p->congestion()}),
+                     Table::fmt(std::uint64_t{p->dilation()}),
+                     Table::fmt(out.schedule_rounds / cd, 2),
+                     mt.converged ? "converged" : "FAILED",
+                     Table::fmt(mt.resample_iterations)});
+    }
+    for (const std::uint64_t n_target : {150ULL, 1200ULL}) {
+      const auto cfg = scaled_hard_instance_config(n_target, 11);
+      const auto g = make_layered(cfg.layers, cfg.width);
+      auto p = make_hard_instance(g, cfg);
+      const auto out = GreedyScheduler{}.run(*p);
+      auto pm = make_hard_instance(g, cfg);
+      MoserTardosConfig mcfg;
+      mcfg.seed = 7;
+      mcfg.frame_factor = 2.0;
+      mcfg.max_iterations = 20000;
+      const auto mt = MoserTardosScheduler(mcfg).run(*pm);
+      const double cd = p->congestion() + p->dilation();
+      table.add_row({"hard instance", Table::fmt(std::uint64_t{g.num_nodes()}),
+                     Table::fmt(std::uint64_t{p->congestion()}),
+                     Table::fmt(std::uint64_t{p->dilation()}),
+                     Table::fmt(out.schedule_rounds / cd, 2),
+                     mt.converged ? "converged" : "FAILED",
+                     Table::fmt(mt.resample_iterations)});
+    }
+    table.print(std::cout);
+  }
+}
+
+void bm_hard_instance_greedy(benchmark::State& state) {
+  const auto cfg = scaled_hard_instance_config(static_cast<std::uint64_t>(state.range(0)), 3);
+  const auto g = make_layered(cfg.layers, cfg.width);
+  for (auto _ : state) {
+    auto p = make_hard_instance(g, cfg);
+    const auto out = GreedyScheduler{}.run(*p);
+    benchmark::DoNotOptimize(out.schedule_rounds);
+  }
+}
+BENCHMARK(bm_hard_instance_greedy)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+DASCHED_BENCH_MAIN(dasched::print_tables)

@@ -1,0 +1,89 @@
+// E4 -- Lemma 4.3: sharing Theta(log^2 n) bits in every cluster in
+// O(dilation log^2 n) rounds total, via Lenzen-style pipelining.
+//
+// The point of the lemma is the pipelining: s = Theta(log n) seed words per
+// cluster are disseminated in H + Theta(s) rounds per layer instead of the
+// naive H * s (one flood per word). The table reports both, plus the
+// completeness check (every node holds all of its center's words -- the
+// property Lemma 4.4 builds on).
+#include "bench_common.hpp"
+
+#include "graph/generators.hpp"
+#include "sched/clustering.hpp"
+#include "sched/rand_sharing.hpp"
+
+namespace dasched {
+namespace {
+
+void print_tables() {
+  bench::experiment_banner("E4 (Lemma 4.3)",
+                           "cluster-local randomness sharing: H + Theta(s) rounds per "
+                           "layer vs naive H*s");
+
+  Table table("E4.a -- pipelined vs naive dissemination (gnp, dilation = 4)");
+  table.set_header({"n", "layers", "H", "s", "pipelined rounds", "naive H*s*layers",
+                    "speedup", "complete"});
+  for (const NodeId n : {64u, 128u, 256u, 512u}) {
+    Rng rng(n);
+    const auto g = make_gnp_connected(n, 6.0 / n, rng);
+    ClusteringConfig ccfg;
+    ccfg.seed = n;
+    ccfg.dilation = 4;
+    const auto clustering = ClusteringBuilder(ccfg).build_distributed(g);
+
+    RandSharingConfig scfg;
+    scfg.seed = n;
+    const RandomnessSharing sharing(scfg);
+    const auto seeds = sharing.run_distributed(g, clustering);
+    const std::uint64_t naive = static_cast<std::uint64_t>(clustering.hop_cap) *
+                                seeds.words_per_seed * clustering.num_layers();
+    table.add_row({Table::fmt(std::uint64_t{n}),
+                   Table::fmt(std::uint64_t{clustering.num_layers()}),
+                   Table::fmt(std::uint64_t{clustering.hop_cap}),
+                   Table::fmt(std::uint64_t{seeds.words_per_seed}),
+                   Table::fmt(seeds.rounds), Table::fmt(naive),
+                   Table::fmt(static_cast<double>(naive) / seeds.rounds, 2),
+                   seeds.all_complete() ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  Table t2("E4.b -- rounds scale with s (grid 12x12, one layer family)");
+  t2.set_header({"s (words)", "per-layer rounds", "per-layer - H"});
+  const auto g = make_grid(12, 12);
+  ClusteringConfig ccfg;
+  ccfg.seed = 5;
+  ccfg.dilation = 4;
+  ccfg.num_layers = 4;
+  const auto clustering = ClusteringBuilder(ccfg).build_distributed(g);
+  for (const std::uint32_t s : {2u, 4u, 8u, 16u}) {
+    RandSharingConfig scfg;
+    scfg.seed = 5;
+    scfg.words_per_seed = s;
+    const auto seeds = RandomnessSharing(scfg).run_distributed(g, clustering);
+    DASCHED_CHECK(seeds.all_complete());
+    const auto per_layer = seeds.rounds / clustering.num_layers();
+    t2.add_row({Table::fmt(std::uint64_t{s}), Table::fmt(per_layer),
+                Table::fmt(per_layer - clustering.hop_cap)});
+  }
+  t2.print(std::cout);
+}
+
+void bm_rand_sharing(benchmark::State& state) {
+  Rng rng(3);
+  const auto g = make_gnp_connected(static_cast<NodeId>(state.range(0)), 0.05, rng);
+  ClusteringConfig ccfg;
+  ccfg.dilation = 4;
+  ccfg.num_layers = 6;
+  const auto clustering = ClusteringBuilder(ccfg).build_distributed(g);
+  const RandomnessSharing sharing({});
+  for (auto _ : state) {
+    const auto seeds = sharing.run_distributed(g, clustering);
+    benchmark::DoNotOptimize(seeds.rounds);
+  }
+}
+BENCHMARK(bm_rand_sharing)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+DASCHED_BENCH_MAIN(dasched::print_tables)

@@ -1,0 +1,100 @@
+// E9 -- the LMR special case (intro item III): packet routing along fixed
+// paths, where random delays give O(C + D log n) and (unlike the general
+// problem, see E2) O(C + D) schedules exist.
+//
+// Sweeps torus size and packet count; reports greedy (realizing ~C+D) and
+// the random-delay schedule, both normalized by C+D. The normalized columns
+// staying O(1) across the sweep -- against E2's growing ratio -- is the
+// paper's packet-routing-vs-general-DAS separation.
+#include "bench_common.hpp"
+
+#include "graph/generators.hpp"
+#include "sched/baseline.hpp"
+#include "sched/moser_tardos.hpp"
+#include "sched/delay_schedule.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+#include "util/stats.hpp"
+
+namespace dasched {
+namespace {
+
+void print_tables() {
+  bench::experiment_banner("E9 (LMR packet routing)",
+                           "random delays: O(C + D log n); greedy: ~C + D");
+
+  Table table("E9.a -- torus sweep (packets = 3 * side^2 / 2)");
+  table.set_header({"n", "packets", "C", "D", "greedy", "greedy/(C+D)", "rnd-delay",
+                    "rnd/(C+D)", "LLL/MT", "MT/(C+D)", "correct"});
+  for (const NodeId side : {8u, 12u, 16u, 20u}) {
+    const auto g = make_grid(side, side, true);
+    const std::size_t packets = 3u * side * side / 2;
+
+    auto p1 = make_routing_workload(g, packets, side);
+    const auto greedy = GreedyScheduler{}.run(*p1);
+    bool ok = p1->verify(greedy.exec).ok();
+
+    auto p2 = make_routing_workload(g, packets, side);
+    SharedSchedulerConfig cfg;
+    cfg.shared_seed = side;
+    const auto shared = SharedRandomnessScheduler(cfg).run(*p2);
+    ok &= p2->verify(shared.exec).ok();
+
+    // The constructive LLL route to O(C+D): unit phases + Moser-Tardos.
+    auto p3 = make_routing_workload(g, packets, side);
+    MoserTardosConfig mcfg;
+    mcfg.seed = side;
+    const auto mt = MoserTardosScheduler(mcfg).run(*p3);
+    ok &= mt.converged && p3->verify(mt.exec).ok();
+
+    const double cd = p1->congestion() + p1->dilation();
+    table.add_row({Table::fmt(std::uint64_t{g.num_nodes()}), Table::fmt(std::uint64_t{packets}),
+                   Table::fmt(std::uint64_t{p1->congestion()}),
+                   Table::fmt(std::uint64_t{p1->dilation()}),
+                   Table::fmt(greedy.schedule_rounds),
+                   Table::fmt(greedy.schedule_rounds / cd, 2),
+                   Table::fmt(shared.schedule_rounds),
+                   Table::fmt(shared.schedule_rounds / cd, 2),
+                   Table::fmt(mt.schedule_rounds),
+                   Table::fmt(mt.schedule_rounds / cd, 2), ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  Table t2("E9.b -- distribution of random-delay lengths (torus 12x12, 50 draws)");
+  t2.set_header({"packets", "C+D", "len p10", "len p50", "len p90"});
+  const auto g = make_grid(12, 12, true);
+  for (const std::size_t packets : {72u, 144u, 288u}) {
+    auto p = make_routing_workload(g, packets, 5);
+    p->run_solo();
+    const auto phase_len =
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(bench::log2n(g.num_nodes())));
+    const auto range =
+        std::max<std::uint32_t>(1, (p->congestion() + phase_len - 1) / phase_len);
+    SampleSet lengths;
+    for (std::uint64_t s = 0; s < 50; ++s) {
+      const auto delays =
+          SharedRandomnessScheduler::draw_delays(seed_combine(77, s), p->size(), range, 12);
+      lengths.add(static_cast<double>(delay_load_profile(*p, delays).adaptive_rounds()));
+    }
+    t2.add_row({Table::fmt(std::uint64_t{packets}),
+                Table::fmt(std::uint64_t{p->congestion() + p->dilation()}),
+                Table::fmt(lengths.quantile(0.1), 0), Table::fmt(lengths.quantile(0.5), 0),
+                Table::fmt(lengths.quantile(0.9), 0)});
+  }
+  t2.print(std::cout);
+}
+
+void bm_routing_greedy(benchmark::State& state) {
+  const auto g = make_grid(12, 12, true);
+  for (auto _ : state) {
+    auto p = make_routing_workload(g, 144, 5);
+    const auto out = GreedyScheduler{}.run(*p);
+    benchmark::DoNotOptimize(out.schedule_rounds);
+  }
+}
+BENCHMARK(bm_routing_greedy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+DASCHED_BENCH_MAIN(dasched::print_tables)

@@ -1,0 +1,60 @@
+// Packet routing -- the Leighton-Maggs-Rao special case (intro item III).
+//
+// Routes many packets along shortest paths on a torus and shows the
+// random-delay schedule achieving O(congestion + dilation log n), the bound
+// the paper's Theorem 1.1 generalizes to arbitrary black-box algorithms.
+//
+// Usage: packet_routing [side] [packets] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "sched/baseline.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dasched;
+  const NodeId side = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 10;
+  const std::size_t packets = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 40;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  const auto g = make_grid(side, side, /*torus=*/true);
+  std::printf("torus %ux%u, %zu packets on shortest paths\n\n", side, side, packets);
+
+  auto fresh = [&] { return make_routing_workload(g, packets, seed); };
+  auto probe = fresh();
+  probe->run_solo();
+  std::printf("congestion = %u (max packets through a directed edge)\n", probe->congestion());
+  std::printf("dilation   = %u (longest path)\n\n", probe->dilation());
+
+  Table table("packet routing schedules");
+  table.set_header({"scheduler", "rounds", "vs C+D"});
+  const double cd = probe->congestion() + probe->dilation();
+  {
+    auto p = fresh();
+    const auto out = SequentialScheduler{}.run(*p);
+    table.add_row({"one packet at a time", Table::fmt(out.schedule_rounds),
+                   Table::fmt(out.schedule_rounds / cd)});
+  }
+  {
+    auto p = fresh();
+    const auto out = GreedyScheduler{}.run(*p);
+    if (!p->verify(out.exec).ok()) std::printf("greedy verification FAILED\n");
+    table.add_row({"greedy (offline)", Table::fmt(out.schedule_rounds),
+                   Table::fmt(out.schedule_rounds / cd)});
+  }
+  {
+    auto p = fresh();
+    SharedSchedulerConfig cfg;
+    cfg.shared_seed = seed;
+    const auto out = SharedRandomnessScheduler(cfg).run(*p);
+    if (!p->verify(out.exec).ok()) std::printf("random-delay verification FAILED\n");
+    table.add_row({"random delays (LMR / Thm 1.1)", Table::fmt(out.schedule_rounds),
+                   Table::fmt(out.schedule_rounds / cd)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "algos/gossip.hpp"
+
+namespace dasched {
+
+namespace {
+
+class GossipProgram final : public NodeProgram {
+ public:
+  GossipProgram(bool is_source, std::uint64_t rumor) {
+    if (is_source) {
+      informed_ = true;
+      rumor_ = rumor;
+      informed_round_ = 0;
+    }
+  }
+
+  void on_round(VirtualContext& ctx) override {
+    absorb(ctx);
+    if (informed_ && ctx.degree() > 0) {
+      const auto pick = ctx.rng().next_below(ctx.degree());
+      ctx.send(ctx.neighbors()[pick].neighbor, {rumor_});
+    }
+  }
+
+  void on_finish(VirtualContext& ctx) override { absorb(ctx); }
+
+  std::vector<std::uint64_t> output() const override {
+    return {informed_ ? 1ULL : 0ULL, rumor_,
+            informed_ ? std::uint64_t{informed_round_} : ~std::uint64_t{0}};
+  }
+
+ private:
+  void absorb(VirtualContext& ctx) {
+    if (informed_ || ctx.inbox().empty()) return;
+    informed_ = true;
+    rumor_ = ctx.inbox().front().payload.at(0);
+    informed_round_ = ctx.vround() - 1;
+  }
+
+  bool informed_ = false;
+  std::uint64_t rumor_ = 0;
+  std::uint32_t informed_round_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeProgram> GossipAlgorithm::make_program(NodeId node) const {
+  return std::make_unique<GossipProgram>(node == source_, rumor_);
+}
+
+}  // namespace dasched

@@ -1,0 +1,278 @@
+#include "congest/executor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+std::uint64_t ExecutionResult::adaptive_physical_rounds() const {
+  std::uint64_t rounds = 0;
+  for (const auto load : max_load_per_big_round) {
+    rounds += std::max<std::uint32_t>(1, load);
+  }
+  return rounds;
+}
+
+ExecutionResult::FixedPhase ExecutionResult::fixed_phase(std::uint32_t phase_len) const {
+  DASCHED_CHECK(phase_len >= 1);
+  FixedPhase result{0, 0};
+  result.physical_rounds =
+      static_cast<std::uint64_t>(num_big_rounds) * phase_len;
+  for (const auto load : max_load_per_big_round) {
+    if (load > phase_len) ++result.overflowing_phases;
+  }
+  return result;
+}
+
+bool ExecutionResult::all_completed() const {
+  for (const auto& per_alg : completed) {
+    for (const auto c : per_alg) {
+      if (!c) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// A message in flight, tagged with the virtual round it was sent in.
+struct TaggedMessage {
+  std::uint32_t tag;  // sender's virtual round
+  VMessage msg;
+};
+
+/// Staged transmission awaiting end-of-big-round delivery.
+struct StagedMessage {
+  std::uint32_t alg;
+  std::uint32_t tag;
+  NodeId to;
+  std::uint32_t directed_edge;
+  VMessage msg;
+};
+
+/// One scheduled execution event.
+struct ExecEvent {
+  std::uint32_t alg;
+  NodeId node;
+  std::uint32_t vround;
+};
+
+struct SendSink {
+  const Graph* graph;
+  std::uint32_t max_payload_words;
+  NodeId from;
+  std::vector<std::pair<NodeId, Payload>> sends;
+
+  static void send(void* raw, NodeId neighbor, Payload payload) {
+    auto* sink = static_cast<SendSink*>(raw);
+    DASCHED_CHECK_MSG(sink->graph->find_edge(sink->from, neighbor) != kInvalidEdge,
+                      "send to non-neighbor");
+    DASCHED_CHECK_MSG(payload.size() <= sink->max_payload_words,
+                      "message exceeds CONGEST word budget");
+    for (const auto& [to, _] : sink->sends) {
+      DASCHED_CHECK_MSG(to != neighbor, "two messages to one neighbor in one round");
+    }
+    sink->sends.emplace_back(neighbor, std::move(payload));
+  }
+};
+
+}  // namespace
+
+Executor::Executor(const Graph& g, ExecConfig cfg) : graph_(g), cfg_(cfg) {}
+
+ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algorithms,
+                              const ExecTimeFn& exec_time) {
+  const std::size_t k = algorithms.size();
+  const NodeId n = graph_.num_nodes();
+
+  // --- Build and validate the schedule table. ---
+  // time[a][v] holds big-rounds for vrounds 1..T_a at indices 0..T_a-1.
+  std::vector<std::vector<std::vector<std::uint32_t>>> time(k);
+  std::uint32_t max_big_round = 0;
+  std::uint64_t total_events = 0;
+  for (std::size_t a = 0; a < k; ++a) {
+    const std::uint32_t rounds = algorithms[a]->rounds();
+    time[a].assign(n, {});
+    for (NodeId v = 0; v < n; ++v) {
+      auto& slots = time[a][v];
+      slots.resize(rounds, kNeverScheduled);
+      std::uint32_t prev = 0;
+      bool ended = false;
+      for (std::uint32_t r = 1; r <= rounds; ++r) {
+        const std::uint32_t t = exec_time(a, v, r);
+        if (t == kNeverScheduled) {
+          ended = true;
+          continue;
+        }
+        DASCHED_CHECK_MSG(!ended, "schedule has a gap: round scheduled after a skipped one");
+        DASCHED_CHECK_MSG(r == 1 || t > prev,
+                          "schedule must be strictly increasing per (alg, node)");
+        slots[r - 1] = t;
+        prev = t;
+        max_big_round = std::max(max_big_round, t);
+        ++total_events;
+      }
+    }
+  }
+
+  // --- Bucket events by big-round. ---
+  std::vector<std::vector<ExecEvent>> bucket(max_big_round + 1);
+  (void)total_events;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& slots = time[a][v];
+      for (std::uint32_t r = 1; r <= slots.size(); ++r) {
+        if (slots[r - 1] != kNeverScheduled) {
+          bucket[slots[r - 1]].push_back(
+              {static_cast<std::uint32_t>(a), v, r});
+        }
+      }
+    }
+  }
+
+  // --- Per (alg, node) state. ---
+  std::vector<std::vector<std::unique_ptr<NodeProgram>>> programs(k);
+  std::vector<std::vector<Rng>> rngs(k);
+  std::vector<std::vector<std::uint32_t>> progress(k);  // last executed vround
+  std::vector<std::vector<std::vector<TaggedMessage>>> pending(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    programs[a].reserve(n);
+    rngs[a].reserve(n);
+    progress[a].assign(n, 0);
+    pending[a].resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      programs[a].push_back(algorithms[a]->make_program(v));
+      rngs[a].emplace_back(seed_combine(algorithms[a]->base_seed(), v));
+    }
+  }
+
+  ExecutionResult result;
+  result.outputs.assign(k, {});
+  result.completed.assign(k, {});
+  if (cfg_.record_patterns) {
+    result.patterns.assign(k, CommunicationPattern(graph_.num_directed_edges()));
+  }
+
+  std::vector<std::uint32_t> edge_count(graph_.num_directed_edges(), 0);
+  std::vector<std::uint32_t> touched_edges;
+  std::vector<StagedMessage> staged;
+  std::vector<VMessage> inbox_scratch;
+  if (total_events == 0) {
+    result.num_big_rounds = 0;
+  } else {
+    result.num_big_rounds = max_big_round + 1;
+    result.max_load_per_big_round.assign(result.num_big_rounds, 0);
+  }
+
+  auto take_tag = [&](std::vector<TaggedMessage>& buf, std::uint32_t tag,
+                      std::vector<VMessage>& out) {
+    out.clear();
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i].tag == tag) {
+        out.push_back(std::move(buf[i].msg));
+      } else {
+        if (write != i) buf[write] = std::move(buf[i]);
+        ++write;
+      }
+    }
+    buf.resize(write);
+  };
+
+  // --- Main loop over big-rounds. ---
+  for (std::uint32_t t = 0; t <= max_big_round; ++t) {
+    staged.clear();
+
+    for (const auto& ev : bucket[t]) {
+      auto& prog_progress = progress[ev.alg][ev.node];
+      DASCHED_CHECK_MSG(prog_progress + 1 == ev.vround,
+                        "executor: out-of-order virtual round");
+      prog_progress = ev.vround;
+
+      take_tag(pending[ev.alg][ev.node], ev.vround - 1, inbox_scratch);
+
+      SendSink sink{&graph_, cfg_.max_payload_words, ev.node, {}};
+      VirtualContext ctx;
+      ctx.self_ = ev.node;
+      ctx.num_nodes_ = n;
+      ctx.vround_ = ev.vround;
+      ctx.inbox_ = inbox_scratch;
+      ctx.neighbors_ = graph_.neighbors(ev.node);
+      ctx.send_fn_ = &SendSink::send;
+      ctx.sink_ = &sink;
+      ctx.rng_ = &rngs[ev.alg][ev.node];
+
+      programs[ev.alg][ev.node]->on_round(ctx);
+
+      for (auto& [to, payload] : sink.sends) {
+        const EdgeId e = graph_.find_edge(ev.node, to);
+        const std::uint32_t d = graph_.directed_id(e, ev.node);
+        staged.push_back({ev.alg, ev.vround, to, d,
+                          VMessage{ev.node, std::move(payload)}});
+      }
+    }
+
+    // Deliver staged messages: account loads, detect violations, enqueue.
+    for (auto& sm : staged) {
+      if (edge_count[sm.directed_edge] == 0) touched_edges.push_back(sm.directed_edge);
+      ++edge_count[sm.directed_edge];
+      ++result.total_messages;
+      if (cfg_.record_patterns) {
+        result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
+      }
+      // The consumer executes vround tag+1 (or on_finish if tag == T, which
+      // always happens after the loop and so cannot be violated).
+      const auto& consumer_slots = time[sm.alg][sm.to];
+      if (sm.tag < consumer_slots.size()) {
+        const std::uint32_t consumer_time = consumer_slots[sm.tag];  // vround tag+1
+        if (consumer_time != kNeverScheduled && consumer_time <= t) {
+          ++result.causality_violations;
+        }
+      }
+      pending[sm.alg][sm.to].push_back({sm.tag, std::move(sm.msg)});
+    }
+
+    std::uint32_t max_load = 0;
+    for (const auto d : touched_edges) {
+      max_load = std::max(max_load, edge_count[d]);
+      if (cfg_.enforce_unit_capacity) {
+        DASCHED_CHECK_MSG(edge_count[d] <= 1,
+                          "CONGEST bandwidth violated: >1 message per edge per round");
+      }
+      edge_count[d] = 0;
+    }
+    touched_edges.clear();
+    if (t < result.max_load_per_big_round.size()) {
+      result.max_load_per_big_round[t] = max_load;
+    }
+    result.max_edge_load = std::max(result.max_edge_load, max_load);
+  }
+
+  // --- Finish and collect outputs. ---
+  for (std::size_t a = 0; a < k; ++a) {
+    const std::uint32_t rounds = algorithms[a]->rounds();
+    result.outputs[a].resize(n);
+    result.completed[a].assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (progress[a][v] != rounds) continue;
+      take_tag(pending[a][v], rounds, inbox_scratch);
+      VirtualContext ctx;
+      ctx.self_ = v;
+      ctx.num_nodes_ = n;
+      ctx.vround_ = rounds + 1;
+      ctx.inbox_ = inbox_scratch;
+      ctx.neighbors_ = graph_.neighbors(v);
+      ctx.send_fn_ = nullptr;
+      ctx.sink_ = nullptr;
+      ctx.rng_ = &rngs[a][v];
+      programs[a][v]->on_finish(ctx);
+      result.completed[a][v] = 1;
+      result.outputs[a][v] = programs[a][v]->output();
+    }
+  }
+
+  return result;
+}
+
+}  // namespace dasched

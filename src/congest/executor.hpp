@@ -1,0 +1,108 @@
+// The scheduled-execution engine.
+//
+// Everything in this repo -- solo runs, the Theorem 1.1 shared-randomness
+// scheduler, and the Theorem 4.1 private-randomness scheduler -- is a special
+// case of one operation: run k black-box algorithms where each (algorithm,
+// node, virtual round) triple is assigned a *big-round* (the paper's phase) in
+// which that node executes that round and transmits its messages. The engine:
+//
+//  * drives every NodeProgram forward with the exact inbox semantics of a solo
+//    execution (messages sent in virtual round r are consumed by the
+//    receiver's round r+1),
+//  * records per-(big-round, directed-edge) message loads, from which the two
+//    schedule-length measures are derived: the adaptive measure
+//    sum_t max(1, max_e load(e,t)) and the fixed-phase measure (phases of P
+//    physical rounds, overflowing phases counted),
+//  * detects causality violations: a message whose consumer was scheduled to
+//    run before the message was transmitted. A correct schedule (what the
+//    paper's w.h.p. analysis guarantees) has zero violations; the counter
+//    exists so experiments can *measure* failures instead of crashing.
+//
+// De-duplication from Lemma 4.4 ("if a copy of a message has been sent
+// before, this message gets dropped ... a node creating a round-j message
+// takes into account all messages received about rounds up to j-1") is
+// realized structurally: the engine keeps ONE canonical execution per
+// (algorithm, node), and the schedule passed in by the private-randomness
+// scheduler is the earliest big-round over all clustering layers -- the fixed
+// point of the paper's first-copy-wins rule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "congest/pattern.hpp"
+#include "congest/program.hpp"
+#include "graph/graph.hpp"
+
+namespace dasched {
+
+/// Returned by a schedule for rounds a node never executes (e.g. truncated by
+/// its clustering radius, Lemma 4.4).
+inline constexpr std::uint32_t kNeverScheduled = ~std::uint32_t{0};
+
+struct ExecConfig {
+  std::uint32_t max_payload_words = kDefaultMaxPayloadWords;
+  /// Record per-algorithm communication patterns (indexed by virtual round).
+  bool record_patterns = false;
+  /// Enforce the raw CONGEST bound of one message per directed edge per
+  /// big-round -- used by the solo Simulator where big-round == round.
+  bool enforce_unit_capacity = false;
+};
+
+/// Big-round (0-based) at which node `v` executes virtual round `r` (1-based)
+/// of algorithm `alg`, or kNeverScheduled. For every (alg, v) the scheduled
+/// rounds must be a gap-free prefix 1..p with strictly increasing big-rounds
+/// (checked).
+using ExecTimeFn =
+    std::function<std::uint32_t(std::size_t alg, NodeId v, std::uint32_t r)>;
+
+struct ExecutionResult {
+  /// outputs[alg][node]; meaningful only where completed[alg][node] is true.
+  std::vector<std::vector<std::vector<std::uint64_t>>> outputs;
+  /// completed[alg][node]: node executed all rounds() rounds plus on_finish.
+  std::vector<std::vector<std::uint8_t>> completed;
+
+  std::uint64_t causality_violations = 0;
+  std::uint64_t total_messages = 0;
+  std::uint32_t num_big_rounds = 0;
+  /// max over directed edges of the message load, per big-round.
+  std::vector<std::uint32_t> max_load_per_big_round;
+  std::uint32_t max_edge_load = 0;
+
+  /// Per-algorithm patterns (virtual-round indexed); only if record_patterns.
+  std::vector<CommunicationPattern> patterns;
+
+  /// Realized schedule length if every big-round lasts exactly as many
+  /// physical rounds as its busiest edge needs (>= 1).
+  std::uint64_t adaptive_physical_rounds() const;
+
+  struct FixedPhase {
+    std::uint64_t physical_rounds;
+    std::uint64_t overflowing_phases;  // phases whose max load exceeded the length
+  };
+  /// Realized length with fixed phases of `phase_len` physical rounds (the
+  /// paper's w.h.p. regime); overflows indicate the schedule failed.
+  FixedPhase fixed_phase(std::uint32_t phase_len) const;
+
+  bool all_completed() const;
+};
+
+class Executor {
+ public:
+  explicit Executor(const Graph& g, ExecConfig cfg = {});
+
+  /// Runs all algorithms under the given schedule. Algorithms are borrowed
+  /// (must outlive the call).
+  ExecutionResult run(std::span<const DistributedAlgorithm* const> algorithms,
+                      const ExecTimeFn& exec_time);
+
+ private:
+  const Graph& graph_;
+  ExecConfig cfg_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,33 @@
+// Messages in the CONGEST model.
+//
+// The CONGEST model allows one O(log n)-bit message per directed edge per
+// round. We represent message content as a small vector of 64-bit words; the
+// execution engine enforces a configurable word budget per message
+// (conceptually each word is one O(log n)-bit field). Scheduling headers
+// (algorithm id, virtual round, clustering layer) are accounted separately --
+// the paper explicitly allows "adding a small amount of information to the
+// header" of black-box messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dasched {
+
+using Payload = std::vector<std::uint64_t>;
+
+/// A message as seen by a NodeProgram: sender plus opaque content.
+struct VMessage {
+  NodeId from;
+  Payload payload;
+};
+
+/// Default cap on content words per message. Each word is one O(log n)-bit
+/// field (an id, a hop count, a weight); the largest message in this repo is
+/// an MST edge record {weight, u, v, fragment(u), fragment(v)} -- five
+/// fields, i.e. still a single O(log n)-bit CONGEST message.
+inline constexpr std::uint32_t kDefaultMaxPayloadWords = 5;
+
+}  // namespace dasched

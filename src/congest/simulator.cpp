@@ -1,0 +1,30 @@
+#include "congest/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+SoloRunResult Simulator::run(const DistributedAlgorithm& algorithm) const {
+  ExecConfig cfg;
+  cfg.max_payload_words = max_payload_words_;
+  cfg.record_patterns = true;
+  cfg.enforce_unit_capacity = true;
+  Executor executor(graph_, cfg);
+
+  const DistributedAlgorithm* algos[] = {&algorithm};
+  auto exec = executor.run(algos, [](std::size_t, NodeId, std::uint32_t r) {
+    return r - 1;  // lockstep: virtual round r runs in big-round r-1
+  });
+
+  DASCHED_CHECK(exec.causality_violations == 0);
+  DASCHED_CHECK(exec.all_completed());
+
+  SoloRunResult result;
+  result.outputs = std::move(exec.outputs[0]);
+  result.pattern = std::move(exec.patterns[0]);
+  result.total_messages = exec.total_messages;
+  result.last_message_round = result.pattern.last_message_round();
+  return result;
+}
+
+}  // namespace dasched

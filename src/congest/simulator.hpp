@@ -1,0 +1,40 @@
+// Solo (stand-alone) execution of a single distributed algorithm.
+//
+// This is the plain CONGEST model: big-round t is exactly virtual round t+1
+// for every node, and the one-message-per-directed-edge-per-round bandwidth
+// bound is *enforced* (an algorithm that violates it is not a valid CONGEST
+// algorithm). The solo run yields the algorithm's communication pattern
+// (Section 2) and per-node outputs, which schedulers use as ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/executor.hpp"
+#include "congest/pattern.hpp"
+#include "congest/program.hpp"
+#include "graph/graph.hpp"
+
+namespace dasched {
+
+struct SoloRunResult {
+  std::vector<std::vector<std::uint64_t>> outputs;  // per node
+  CommunicationPattern pattern;
+  std::uint64_t total_messages = 0;
+  /// Last virtual round in which any message was sent (<= algorithm rounds()).
+  std::uint32_t last_message_round = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Graph& g, std::uint32_t max_payload_words = kDefaultMaxPayloadWords)
+      : graph_(g), max_payload_words_(max_payload_words) {}
+
+  SoloRunResult run(const DistributedAlgorithm& algorithm) const;
+
+ private:
+  const Graph& graph_;
+  std::uint32_t max_payload_words_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,69 @@
+#include "derand/newman.hpp"
+
+#include <map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dasched {
+
+std::vector<std::uint64_t> newman_canonical_outputs(const NewmanEval& eval,
+                                                    std::uint32_t num_seeds,
+                                                    std::uint32_t num_inputs) {
+  std::vector<std::uint64_t> canonical(num_inputs);
+  for (std::uint32_t x = 0; x < num_inputs; ++x) {
+    std::map<std::uint64_t, std::uint32_t> votes;
+    for (std::uint32_t s = 0; s < num_seeds; ++s) ++votes[eval(s, x)];
+    std::uint64_t best = 0;
+    std::uint32_t best_count = 0;
+    for (const auto& [out, count] : votes) {
+      if (count > best_count) {
+        best = out;
+        best_count = count;
+      }
+    }
+    canonical[x] = best;
+  }
+  return canonical;
+}
+
+NewmanResult newman_reduce(const NewmanEval& eval, std::uint32_t num_seeds,
+                           std::uint32_t num_inputs, std::uint32_t subset_size,
+                           std::uint32_t num, std::uint32_t den,
+                           std::uint32_t max_candidates) {
+  DASCHED_CHECK(subset_size >= 1);
+  DASCHED_CHECK(den >= 1 && num <= den);
+  const auto canonical = newman_canonical_outputs(eval, num_seeds, num_inputs);
+
+  NewmanResult result;
+  // Deterministic candidate order: candidate c draws its subset from Rng(c).
+  // Every node running the same loop picks the same collection -- the
+  // "consistent deterministic search" of Appendix A.
+  for (std::uint32_t c = 0; c < max_candidates; ++c) {
+    Rng rng(c);
+    std::vector<std::uint32_t> subset;
+    subset.reserve(subset_size);
+    for (std::uint32_t i = 0; i < subset_size; ++i) {
+      subset.push_back(static_cast<std::uint32_t>(rng.next_below(num_seeds)));
+    }
+    ++result.candidates_tried;
+
+    bool good = true;
+    for (std::uint32_t x = 0; x < num_inputs && good; ++x) {
+      std::uint32_t agree = 0;
+      for (const auto s : subset) {
+        if (eval(s, x) == canonical[x]) ++agree;
+      }
+      good = (static_cast<std::uint64_t>(agree) * den >=
+              static_cast<std::uint64_t>(num) * subset_size);
+    }
+    if (good) {
+      result.collection = std::move(subset);
+      result.found = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace dasched

@@ -1,0 +1,51 @@
+// Appendix A's distributed analogue of Newman's theorem: if every node's
+// input fits in poly(n) bits, O(log n) bits of shared randomness suffice.
+//
+// An algorithm with R shared bits is a collection of 2^R deterministic
+// algorithms; sampling poly(n) of them preserves, for every input, a >=3/5
+// majority on the canonical output (Chernoff + union bound over the
+// 2^{poly(n)} inputs). The argument is existential, but -- as the paper notes
+// -- nodes can *deterministically* search candidate sub-collections in a
+// fixed order and consistently adopt the first good one, since the check
+// needs only local computation.
+//
+// This module implements exactly that brute-force search for instance sizes
+// where it is exact: candidate sub-collections are generated in a canonical
+// deterministic order and validated against an evaluation oracle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dasched {
+
+/// Evaluation oracle: output (hashed) of deterministic algorithm `seed_index`
+/// on `input_index`.
+using NewmanEval = std::function<std::uint64_t(std::uint32_t seed_index,
+                                               std::uint32_t input_index)>;
+
+struct NewmanResult {
+  /// Indices of the chosen sub-collection (empty if none found).
+  std::vector<std::uint32_t> collection;
+  /// Candidate collections examined before the first good one.
+  std::uint32_t candidates_tried = 0;
+  bool found = false;
+};
+
+/// Canonical output per input: the majority output over the full collection
+/// (ties broken toward the smaller hash). Exposed for tests.
+std::vector<std::uint64_t> newman_canonical_outputs(const NewmanEval& eval,
+                                                    std::uint32_t num_seeds,
+                                                    std::uint32_t num_inputs);
+
+/// Finds, in deterministic order, the first sub-collection of `subset_size`
+/// seed indices such that for *every* input, at least `num`/`den` of the
+/// sub-collection produce the canonical output. `max_candidates` bounds the
+/// search.
+NewmanResult newman_reduce(const NewmanEval& eval, std::uint32_t num_seeds,
+                           std::uint32_t num_inputs, std::uint32_t subset_size,
+                           std::uint32_t num, std::uint32_t den,
+                           std::uint32_t max_candidates = 1000);
+
+}  // namespace dasched

@@ -1,0 +1,147 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+namespace dasched {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  return bfs_distances_capped(g, source, kUnreachable);
+}
+
+std::vector<std::uint32_t> bfs_distances_capped(const Graph& g, NodeId source,
+                                                std::uint32_t max_hops) {
+  DASCHED_CHECK(source < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    if (dist[v] >= max_hops) continue;
+    for (const auto& h : g.neighbors(v)) {
+      if (dist[h.neighbor] == kUnreachable) {
+        dist[h.neighbor] = dist[v] + 1;
+        queue.push(h.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    DASCHED_CHECK_MSG(d != kUnreachable, "eccentricity on disconnected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    diameter = std::max(diameter, eccentricity(g, v));
+  }
+  return diameter;
+}
+
+std::uint32_t double_sweep_diameter_lb(const Graph& g) {
+  DASCHED_CHECK(g.num_nodes() >= 1);
+  auto dist = bfs_distances(g, 0);
+  NodeId farthest = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DASCHED_CHECK_MSG(dist[v] != kUnreachable, "double sweep on disconnected graph");
+    if (dist[v] > dist[farthest]) farthest = v;
+  }
+  return eccentricity(g, farthest);
+}
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  std::vector<NodeId> label(g.num_nodes(), kInvalidNode);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (label[start] != kInvalidNode) continue;
+    std::queue<NodeId> queue;
+    queue.push(start);
+    label[start] = start;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (const auto& h : g.neighbors(v)) {
+        if (label[h.neighbor] == kInvalidNode) {
+          label[h.neighbor] = start;
+          queue.push(h.neighbor);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+std::vector<EdgeId> kruskal_mst(const Graph& g, const std::vector<std::uint64_t>& weights) {
+  DASCHED_CHECK(weights.size() == g.num_edges());
+  {
+    std::unordered_set<std::uint64_t> distinct(weights.begin(), weights.end());
+    DASCHED_CHECK_MSG(distinct.size() == weights.size(),
+                      "MST weights must be distinct for uniqueness");
+  }
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return weights[a] < weights[b]; });
+
+  UnionFind uf(g.num_nodes());
+  std::vector<EdgeId> chosen;
+  chosen.reserve(g.num_nodes() - 1);
+  for (const EdgeId e : order) {
+    const auto [u, v] = g.endpoints(e);
+    if (uf.unite(u, v)) chosen.push_back(e);
+  }
+  DASCHED_CHECK_MSG(chosen.size() + 1 == g.num_nodes(), "kruskal on disconnected graph");
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::uint64_t total_weight(const std::vector<EdgeId>& edges,
+                           const std::vector<std::uint64_t>& weights) {
+  std::uint64_t sum = 0;
+  for (const EdgeId e : edges) {
+    DASCHED_CHECK(e < weights.size());
+    sum += weights[e];
+  }
+  return sum;
+}
+
+}  // namespace dasched

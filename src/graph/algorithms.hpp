@@ -1,0 +1,47 @@
+// Centralized graph algorithms.
+//
+// These are *oracles*: the distributed algorithms in src/algos are validated
+// against them, and experiment harnesses use them to compute ground-truth
+// distances, diameters, and MSTs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dasched {
+
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distances from `source` to every node (kUnreachable if disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS distances capped at `max_hops` (nodes farther away get kUnreachable).
+std::vector<std::uint32_t> bfs_distances_capped(const Graph& g, NodeId source,
+                                                std::uint32_t max_hops);
+
+/// Eccentricity of `source` (max finite BFS distance); graph must be connected.
+std::uint32_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via n BFS runs. O(n * m) -- fine for simulator-scale graphs.
+std::uint32_t exact_diameter(const Graph& g);
+
+/// 2-approximate diameter via one double-sweep BFS (lower bound that is often
+/// tight in practice; always >= radius).
+std::uint32_t double_sweep_diameter_lb(const Graph& g);
+
+/// Connected component label per node (labels are representative node ids).
+std::vector<NodeId> connected_components(const Graph& g);
+
+/// Kruskal MST for edge weights w (w.size() == g.num_edges()); returns the
+/// set of chosen edge ids sorted ascending. Graph must be connected and
+/// weights must be distinct for a unique MST (checked).
+std::vector<EdgeId> kruskal_mst(const Graph& g, const std::vector<std::uint64_t>& weights);
+
+/// Total weight of an edge set.
+std::uint64_t total_weight(const std::vector<EdgeId>& edges,
+                           const std::vector<std::uint64_t>& weights);
+
+}  // namespace dasched

@@ -1,0 +1,217 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace dasched {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  const NodeId a = std::min(u, v);
+  const NodeId b = std::max(u, v);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+/// Union-find for connectivity patching.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+Graph make_path(NodeId n) {
+  DASCHED_CHECK(n >= 1);
+  EdgeList edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return {n, edges};
+}
+
+Graph make_cycle(NodeId n) {
+  DASCHED_CHECK(n >= 3);
+  EdgeList edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(n - 1, 0);
+  return {n, edges};
+}
+
+Graph make_complete(NodeId n) {
+  DASCHED_CHECK(n >= 1);
+  EdgeList edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return {n, edges};
+}
+
+Graph make_star(NodeId n) {
+  DASCHED_CHECK(n >= 2);
+  EdgeList edges;
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return {n, edges};
+}
+
+Graph make_grid(NodeId rows, NodeId cols, bool torus) {
+  DASCHED_CHECK(rows >= 1 && cols >= 1);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  EdgeList edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  if (torus) {
+    if (cols > 2) {
+      for (NodeId r = 0; r < rows; ++r) edges.emplace_back(id(r, cols - 1), id(r, 0));
+    }
+    if (rows > 2) {
+      for (NodeId c = 0; c < cols; ++c) edges.emplace_back(id(rows - 1, c), id(0, c));
+    }
+  }
+  return {rows * cols, edges};
+}
+
+Graph make_binary_tree(NodeId n) {
+  DASCHED_CHECK(n >= 1);
+  EdgeList edges;
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back((v - 1) / 2, v);
+  return {n, edges};
+}
+
+Graph make_gnp_connected(NodeId n, double p, Rng& rng) {
+  DASCHED_CHECK(n >= 1);
+  EdgeList edges;
+  std::unordered_set<std::uint64_t> seen;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) {
+        edges.emplace_back(u, v);
+        seen.insert(edge_key(u, v));
+      }
+    }
+  }
+  // Patch connectivity: link component representatives in a chain.
+  UnionFind uf(n);
+  for (auto [u, v] : edges) uf.unite(u, v);
+  NodeId prev_rep = kInvalidNode;
+  for (NodeId v = 0; v < n; ++v) {
+    if (uf.find(v) == v) {
+      if (prev_rep != kInvalidNode) {
+        uf.unite(prev_rep, v);
+        if (!seen.contains(edge_key(prev_rep, v))) {
+          edges.emplace_back(prev_rep, v);
+          seen.insert(edge_key(prev_rep, v));
+        }
+      }
+      prev_rep = v;
+    }
+  }
+  return {n, edges};
+}
+
+Graph make_random_connected(NodeId n, EdgeId m, Rng& rng) {
+  DASCHED_CHECK(n >= 1);
+  DASCHED_CHECK(m + 1 >= n);
+  const std::uint64_t max_edges = std::uint64_t{n} * (n - 1) / 2;
+  DASCHED_CHECK(m <= max_edges);
+  EdgeList edges;
+  std::unordered_set<std::uint64_t> seen;
+  // Random attachment spanning tree: node v attaches to a uniform earlier node.
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(v));
+    edges.emplace_back(u, v);
+    seen.insert(edge_key(u, v));
+  }
+  while (edges.size() < m) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(n));
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) edges.emplace_back(u, v);
+  }
+  return {n, edges};
+}
+
+Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng) {
+  DASCHED_CHECK(n >= d + 1);
+  DASCHED_CHECK((std::uint64_t{n} * d) % 2 == 0);
+  // Configuration model with retry on collisions; bounded retries then patch.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(std::size_t{n} * d);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    // Fisher-Yates shuffle.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+    }
+    EdgeList edges;
+    std::unordered_set<std::uint64_t> seen;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v || !seen.insert(edge_key(u, v)).second) {
+        ok = false;
+        break;
+      }
+      edges.emplace_back(u, v);
+    }
+    if (!ok) continue;
+    Graph g{n, edges};
+    if (g.is_connected()) return g;
+  }
+  // Fall back to a random connected graph with the same edge count.
+  return make_random_connected(n, static_cast<EdgeId>(std::uint64_t{n} * d / 2), rng);
+}
+
+Graph make_lollipop(NodeId n, NodeId clique_size) {
+  DASCHED_CHECK(clique_size >= 2 && clique_size <= n);
+  EdgeList edges;
+  for (NodeId u = 0; u < clique_size; ++u) {
+    for (NodeId v = u + 1; v < clique_size; ++v) edges.emplace_back(u, v);
+  }
+  for (NodeId v = clique_size; v < n; ++v) edges.emplace_back(v - 1, v);
+  return {n, edges};
+}
+
+Graph make_layered(NodeId num_layers, NodeId width) {
+  DASCHED_CHECK(num_layers >= 1 && width >= 1);
+  const NodeId n = num_layers + 1 + num_layers * width;
+  EdgeList edges;
+  for (NodeId i = 1; i <= num_layers; ++i) {
+    for (NodeId j = 0; j < width; ++j) {
+      const NodeId u = layered_group_node(num_layers, width, i, j);
+      edges.emplace_back(layered_spine(i - 1), u);
+      edges.emplace_back(u, layered_spine(i));
+    }
+  }
+  return {n, edges};
+}
+
+}  // namespace dasched

@@ -1,0 +1,59 @@
+// Graph generators for experiments and tests.
+//
+// All generators are deterministic given the Rng passed in, and always return
+// connected graphs (random families are retried / patched until connected so
+// that dilation is well-defined for whole-graph algorithms).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dasched {
+
+Graph make_path(NodeId n);
+Graph make_cycle(NodeId n);
+Graph make_complete(NodeId n);
+Graph make_star(NodeId n);
+
+/// rows x cols grid; torus wraps both dimensions.
+Graph make_grid(NodeId rows, NodeId cols, bool torus = false);
+
+/// Complete binary tree with n nodes (heap indexing).
+Graph make_binary_tree(NodeId n);
+
+/// Erdős–Rényi G(n, p), patched to connectivity by linking components along a
+/// random spanning chain of component representatives.
+Graph make_gnp_connected(NodeId n, double p, Rng& rng);
+
+/// Uniform random connected graph with exactly m edges (m >= n - 1): a random
+/// spanning tree (random Prüfer-free attachment) plus m - n + 1 random extra
+/// edges.
+Graph make_random_connected(NodeId n, EdgeId m, Rng& rng);
+
+/// Random d-regular-ish graph via the configuration model with retries;
+/// resulting degrees are d except where collisions forced a patch. Connected.
+Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng);
+
+/// Lollipop: clique of size k attached to a path of length n - k. A classic
+/// high-congestion/low-expansion stress topology.
+Graph make_lollipop(NodeId n, NodeId clique_size);
+
+/// The layered lower-bound topology of Section 3 / Figure 2: spine nodes
+/// v_0..v_L plus L groups U_1..U_L of `width` nodes; each u in U_i is
+/// connected to v_{i-1} and v_i. Spine node v_i has id i; group U_i occupies
+/// ids L + 1 + (i-1)*width .. L + (i)*width.
+Graph make_layered(NodeId num_layers, NodeId width);
+
+/// Spine node id in a layered graph: v_i for i in [0, L].
+inline NodeId layered_spine(NodeId i) { return i; }
+
+/// Id of the j-th node of group U_i (i in [1, L], j in [0, width)).
+inline NodeId layered_group_node(NodeId num_layers, NodeId width, NodeId i, NodeId j) {
+  DASCHED_DCHECK(i >= 1 && j < width);
+  (void)width;
+  return num_layers + 1 + (i - 1) * width + j;
+}
+
+}  // namespace dasched

@@ -1,0 +1,75 @@
+#include "rand/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+UniformDelay::UniformDelay(std::uint32_t range) : range_(range) {
+  DASCHED_CHECK(range >= 1);
+}
+
+std::uint32_t UniformDelay::delay_from_unit(double u) const {
+  DASCHED_DCHECK(u >= 0.0 && u < 1.0);
+  return std::min(range_ - 1, static_cast<std::uint32_t>(u * range_));
+}
+
+BlockDelayDistribution::BlockDelayDistribution(std::uint32_t first_block_size,
+                                               std::uint32_t num_blocks, double alpha) {
+  DASCHED_CHECK(first_block_size >= 1);
+  DASCHED_CHECK(num_blocks >= 1);
+  DASCHED_CHECK(alpha > 0.0 && alpha < 1.0);
+  block_size_.reserve(num_blocks);
+  block_offset_.reserve(num_blocks);
+  double size = first_block_size;
+  for (std::uint32_t i = 0; i < num_blocks; ++i) {
+    const auto points = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(size)));
+    block_offset_.push_back(support_size_);
+    block_size_.push_back(points);
+    support_size_ += points;
+    size *= alpha;
+  }
+}
+
+std::uint32_t BlockDelayDistribution::delay_from_unit(double u) const {
+  DASCHED_DCHECK(u >= 0.0 && u < 1.0);
+  const auto beta = num_blocks();
+  const auto block = std::min(beta - 1, static_cast<std::uint32_t>(u * beta));
+  const double within = u * beta - block;  // uniform in [0,1) given the block
+  const auto index =
+      std::min(block_size_[block] - 1,
+               static_cast<std::uint32_t>(within * block_size_[block]));
+  return block_offset_[block] + index;
+}
+
+std::uint32_t BlockDelayDistribution::block_of(std::uint32_t delay) const {
+  DASCHED_CHECK(delay < support_size_);
+  // block_offset_ is sorted ascending; find last offset <= delay.
+  auto it = std::upper_bound(block_offset_.begin(), block_offset_.end(), delay);
+  return static_cast<std::uint32_t>(it - block_offset_.begin()) - 1;
+}
+
+double BlockDelayDistribution::pmf(std::uint32_t delay) const {
+  const auto block = block_of(delay);
+  return 1.0 / (static_cast<double>(num_blocks()) * block_size_[block]);
+}
+
+TruncatedExponentialRadius::TruncatedExponentialRadius(double scale,
+                                                       double truncation_logs)
+    : scale_(scale) {
+  DASCHED_CHECK(scale > 0.0);
+  DASCHED_CHECK(truncation_logs > 0.0);
+  max_radius_ = static_cast<std::uint32_t>(std::ceil(scale * truncation_logs));
+}
+
+std::uint32_t TruncatedExponentialRadius::radius_from_unit(double u) const {
+  DASCHED_DCHECK(u >= 0.0 && u < 1.0);
+  // Exponential inverse CDF; 1-u avoids log(0) since u < 1.
+  const double r = -scale_ * std::log(1.0 - u);
+  const auto radius = static_cast<std::uint32_t>(std::floor(r));
+  return std::min(radius, max_radius_);
+}
+
+}  // namespace dasched

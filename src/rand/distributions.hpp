@@ -1,0 +1,102 @@
+// The paper's two special-purpose distributions.
+//
+// 1. TruncatedExponentialRadius (Lemma 4.2, following Bartal): cluster-center
+//    radii r(u) with Pr[r = z] proportional to e^{-z/R} for R = Theta(dilation),
+//    truncated at R * Theta(log n) so that radii are bounded w.h.p.-style.
+//    The memoryless tail is what gives every dilation-ball a constant
+//    probability of being *fully* inside one cluster per layer.
+//
+// 2. BlockDelayDistribution (Lemma 4.4): the nonuniform start-delay
+//    distribution. Support is beta = Theta(log n) blocks; block i holds
+//    ceil(L * alpha^{i-1}) integer delays and carries total mass 1/beta,
+//    uniform within the block. With Theta(log n) independent cluster copies
+//    of each algorithm and first-copy-wins de-duplication, this makes the
+//    probability that a *new* (non-duplicate) message crosses an edge in a
+//    given big-round O(log n / congestion) -- the key to the
+//    O(congestion + dilation log n) schedule.
+//
+// Both expose delay/radius as a deterministic function of a uniform [0,1)
+// value so they can be driven by the k-wise independent family (shared
+// randomness) or by a private Rng interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dasched {
+
+/// Abstract integer distribution driven by a uniform unit value, so schedulers
+/// can swap the uniform baseline and the paper's block distribution (E6).
+class DelayDistribution {
+ public:
+  virtual ~DelayDistribution() = default;
+  /// Largest value + 1 this distribution can return.
+  virtual std::uint32_t support_size() const = 0;
+  /// Maps u in [0,1) to a delay; measure-preserving (pushforward of Lebesgue).
+  virtual std::uint32_t delay_from_unit(double u) const = 0;
+
+  std::uint32_t sample(Rng& rng) const { return delay_from_unit(rng.next_double()); }
+};
+
+/// Uniform delays over [0, range) -- Theorem 1.1's distribution.
+class UniformDelay final : public DelayDistribution {
+ public:
+  explicit UniformDelay(std::uint32_t range);
+  std::uint32_t support_size() const override { return range_; }
+  std::uint32_t delay_from_unit(double u) const override;
+
+ private:
+  std::uint32_t range_;
+};
+
+/// The Lemma 4.4 block distribution.
+class BlockDelayDistribution final : public DelayDistribution {
+ public:
+  /// `first_block_size` is the paper's L = Theta(congestion / log n);
+  /// `num_blocks` is beta = Theta(log n); `alpha` in (0, 1) is the geometric
+  /// decay (the paper picks alpha = (1 - 1/beta)^{Theta(log n)}, a constant).
+  BlockDelayDistribution(std::uint32_t first_block_size, std::uint32_t num_blocks,
+                         double alpha);
+
+  std::uint32_t support_size() const override { return support_size_; }
+  std::uint32_t delay_from_unit(double u) const override;
+
+  std::uint32_t num_blocks() const { return static_cast<std::uint32_t>(block_size_.size()); }
+  std::uint32_t block_size(std::uint32_t block) const { return block_size_[block]; }
+  std::uint32_t block_offset(std::uint32_t block) const { return block_offset_[block]; }
+
+  /// Exact probability of a single delay value (for distribution tests).
+  double pmf(std::uint32_t delay) const;
+
+  /// Block index containing `delay`.
+  std::uint32_t block_of(std::uint32_t delay) const;
+
+ private:
+  std::vector<std::uint32_t> block_size_;
+  std::vector<std::uint32_t> block_offset_;  // prefix sums; offset of block i
+  std::uint32_t support_size_ = 0;
+};
+
+/// Truncated exponential radius for ball carving (Lemma 4.2).
+class TruncatedExponentialRadius {
+ public:
+  /// Mean parameter `scale` = Theta(dilation); truncation at
+  /// `scale * truncation_logs` (Theta(log n) in the paper, so that the tail
+  /// above the cap has probability <= n^{-Theta(1)}).
+  TruncatedExponentialRadius(double scale, double truncation_logs);
+
+  /// Maps u in [0,1) to a radius via the exponential inverse CDF, capped.
+  std::uint32_t radius_from_unit(double u) const;
+  std::uint32_t sample(Rng& rng) const { return radius_from_unit(rng.next_double()); }
+
+  std::uint32_t max_radius() const { return max_radius_; }
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  std::uint32_t max_radius_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,43 @@
+// Baseline schedulers the paper's results are measured against.
+//
+// * SequentialScheduler -- run A_1 to completion, then A_2, ...: always
+//   correct, takes sum_i dilation_i rounds. This is what "no scheduling"
+//   costs and the baseline the whole line of work (pipelining, LMR, this
+//   paper) improves on.
+//
+// * GreedyScheduler -- an *offline* list scheduler at physical-round
+//   granularity: it knows every algorithm's communication pattern (which a
+//   distributed scheduler cannot, per Section 2) and pushes every
+//   (algorithm, node, round) execution as early as possible subject to
+//   (a) per-directed-edge capacity of one message per round and
+//   (b) causality (a round runs strictly after its inbound messages arrive).
+//   Greedy is aggressive and correct by construction; the interesting
+//   comparison is its length vs the randomized schedules, and vs
+//   congestion + dilation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/executor.hpp"
+#include "sched/problem.hpp"
+
+namespace dasched {
+
+struct BaselineOutcome {
+  ExecutionResult exec;
+  /// Schedule length in physical rounds (big-round == physical round here).
+  std::uint64_t schedule_rounds = 0;
+};
+
+class SequentialScheduler {
+ public:
+  BaselineOutcome run(ScheduleProblem& problem) const;
+};
+
+class GreedyScheduler {
+ public:
+  BaselineOutcome run(ScheduleProblem& problem) const;
+};
+
+}  // namespace dasched

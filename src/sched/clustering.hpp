@@ -1,0 +1,110 @@
+// Lemma 4.2: ball-carving graph partitioning with only private randomness.
+//
+// Theta(log n) independent layers; in each layer every node u draws a
+// truncated-exponential radius r(u) (scale Theta(dilation), following
+// Bartal) and a random label l(u), and every node v joins the cluster of the
+// *smallest-labelled* u whose ball B(u, r(u)) contains v. Properties:
+//   (1) clusters in a layer are node-disjoint (each v picks one center),
+//   (2) weak cluster diameter O(dilation log n) (radii are capped at H),
+//   (3) w.h.p. each node's dilation-ball is fully inside a cluster in
+//       Theta(log n) of the layers (the memoryless-tail argument), and
+//   (4) each node learns h'(v): the largest h with B(v, h) inside its cluster
+//       (equivalently its distance to the nearest cluster-boundary node,
+//       capped at the query radius).
+//
+// The distributed implementation is the paper's: every u injects a message
+// carrying (l(u), fake initial hop-count H - r(u)); at round i nodes forward
+// the smallest-labelled "ripe" message, so m_u reaches exactly B(u, r(u)) and
+// the smallest label always survives blocking. Boundary detection plus a
+// BFS-style boundary flood then yields h'. One layer costs H + O(dilation)
+// rounds; all Theta(log n) layers cost O(dilation log^2 n) -- the paper's
+// pre-computation bound.
+//
+// A central (non-distributed) construction with the *same* randomness is
+// provided as a test oracle: both must agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/program.hpp"
+#include "graph/graph.hpp"
+#include "rand/distributions.hpp"
+
+namespace dasched {
+
+struct ClusteringConfig {
+  std::uint64_t seed = 1;
+  /// The paper's `dilation` parameter: radii scale with it and h' is capped
+  /// at it (coverage means h'(v) >= dilation).
+  std::uint32_t dilation = 1;
+  /// Radius scale multiplier: R = radius_factor * dilation. Calibrated so a
+  /// dilation-ball is padded with probability ~0.4-0.5 per layer across the
+  /// test topologies (the paper's "constant probability"; see bench E3).
+  double radius_factor = 2.0;
+  /// Radius truncation: caps radii at R * truncation_lns * ln(n).
+  double truncation_lns = 2.0;
+  /// Number of layers; 0 derives layer_factor * ln(n).
+  std::uint32_t num_layers = 0;
+  double layer_factor = 2.0;
+};
+
+struct ClusterLayer {
+  std::vector<NodeId> center;         // per node: id of its cluster center
+  std::vector<std::uint64_t> label;   // per node: label of its center
+  std::vector<std::uint32_t> h_prime; // per node: contained radius, capped
+};
+
+struct Clustering {
+  std::vector<ClusterLayer> layers;
+  std::uint32_t hop_cap = 0;        // H = max radius + 1
+  std::uint32_t radius_query_cap = 0;  // h' cap (== config dilation)
+  std::uint64_t precomputation_rounds = 0;  // CONGEST rounds actually spent
+  /// Radius distribution parameters, kept so downstream protocols (Lemma 4.3
+  /// sharing) can replay the identical per-node draws.
+  double radius_scale = 1.0;
+  double radius_truncation_logs = 1.0;
+
+  TruncatedExponentialRadius radius_distribution_for_replay() const {
+    return {radius_scale, radius_truncation_logs};
+  }
+
+  std::size_t num_layers() const { return layers.size(); }
+
+  /// Number of layers whose cluster fully contains B(v, radius).
+  std::uint32_t coverage(NodeId v, std::uint32_t radius) const;
+
+  /// Max over layers of h'(v).
+  std::uint32_t best_radius(NodeId v) const;
+};
+
+class ClusteringBuilder {
+ public:
+  explicit ClusteringBuilder(ClusteringConfig cfg);
+
+  /// Runs the Lemma 4.2 message-passing programs in the CONGEST simulator.
+  Clustering build_distributed(const Graph& g) const;
+
+  /// Same clusters computed centrally from the same per-node random draws
+  /// (test oracle; precomputation_rounds is 0).
+  Clustering build_central(const Graph& g) const;
+
+  /// Per-layer base seed -- the clustering and randomness-sharing programs of
+  /// a layer share it so their per-node draws coincide.
+  static std::uint64_t layer_seed(std::uint64_t seed, std::uint32_t layer) {
+    return seed_combine(seed, layer, 0xC1u);
+  }
+
+  /// The (radius, label) draw every node performs first, shared by the
+  /// distributed program and the central oracle. Label embeds the node id in
+  /// the low 32 bits so labels are distinct deterministically.
+  static void draw_node_params(Rng& rng, const TruncatedExponentialRadius& dist,
+                               NodeId node, std::uint32_t* radius, std::uint64_t* label);
+
+  std::uint32_t resolved_layers(NodeId n) const;
+
+ private:
+  ClusteringConfig cfg_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,38 @@
+#include "sched/doubling.hpp"
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+DoublingOutcome run_with_doubling(ScheduleProblem& problem, SharedSchedulerConfig base) {
+  problem.run_solo();
+  DoublingOutcome out;
+  // Start from C_hat = 1 (a single delay phase) and double.
+  for (std::uint32_t guess = 1;; guess *= 2) {
+    SharedSchedulerConfig cfg = base;
+    cfg.congestion_estimate = guess;
+    cfg.shared_seed = seed_combine(base.shared_seed, out.attempts);
+    const auto attempt = SharedRandomnessScheduler(cfg).run(problem);
+    ++out.attempts;
+    if (attempt.fixed.overflowing_phases == 0) {
+      out.successful_estimate = guess;
+      out.total_rounds = out.wasted_rounds + attempt.fixed.physical_rounds;
+      out.final = attempt;
+      return out;
+    }
+    // Abort at the first overflowing phase: the incident nodes observe the
+    // overflow locally in that phase and trigger the restart, so a failed
+    // attempt only costs the prefix it actually ran.
+    std::uint32_t first_overflow = attempt.exec.num_big_rounds;
+    for (std::uint32_t t = 0; t < attempt.exec.max_load_per_big_round.size(); ++t) {
+      if (attempt.exec.max_load_per_big_round[t] > attempt.phase_len) {
+        first_overflow = t;
+        break;
+      }
+    }
+    out.wasted_rounds += static_cast<std::uint64_t>(first_overflow + 1) * attempt.phase_len;
+    DASCHED_CHECK_MSG(guess < (1u << 30), "doubling did not converge");
+  }
+}
+
+}  // namespace dasched

@@ -1,0 +1,42 @@
+// Removing the known-congestion assumption via doubling (the paper defers
+// this standard step to its full version; we implement it).
+//
+// The Theorem 1.1 scheduler needs a constant-factor congestion estimate to
+// size its delay range. With an unknown congestion, guess C_hat = phase_len,
+// run the fixed-phase schedule, and detect failure distributedly: a phase
+// whose edge load exceeds the phase length cannot deliver all its messages
+// -- the incident nodes observe the overflow locally and raise a (floodable)
+// abort flag. On failure, double the guess and retry. Geometric growth makes
+// the total cost O(cost of the first successful guess), and the first guess
+// >= congestion succeeds w.h.p. -- so the adaptive scheduler is within a
+// constant factor of the informed one.
+//
+// Failure detection here reads the executor's per-phase overflow count,
+// which is exactly the event the incident nodes would observe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/shared_scheduler.hpp"
+
+namespace dasched {
+
+struct DoublingOutcome {
+  std::uint32_t attempts = 0;
+  /// The first congestion guess whose fixed-phase schedule had no overflow.
+  std::uint32_t successful_estimate = 0;
+  /// Fixed-phase rounds burned by failed attempts.
+  std::uint64_t wasted_rounds = 0;
+  /// wasted_rounds + the successful attempt's fixed-phase rounds.
+  std::uint64_t total_rounds = 0;
+  /// The successful attempt (verify with problem.verify()).
+  SharedScheduleOutcome final;
+};
+
+/// Runs Theorem 1.1 with doubling congestion guesses until a fixed-phase
+/// schedule fits. `base.congestion_estimate` is ignored (that is the point).
+DoublingOutcome run_with_doubling(ScheduleProblem& problem,
+                                  SharedSchedulerConfig base = {});
+
+}  // namespace dasched

@@ -1,0 +1,222 @@
+#include "sched/private_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "rand/distributions.hpp"
+#include "rand/kwise.hpp"
+#include "util/math.hpp"
+
+namespace dasched {
+
+namespace {
+
+std::unique_ptr<DelayDistribution> make_delay_distribution(
+    const PrivateSchedulerConfig& cfg, std::uint32_t congestion, std::uint32_t layers,
+    NodeId n) {
+  const double lns = std::max(1, log_ceil_ln(n));
+  const std::uint32_t beta =
+      cfg.num_blocks > 0 ? cfg.num_blocks
+                         : std::max<std::uint32_t>(2, static_cast<std::uint32_t>(lns));
+  const auto first_block = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::ceil(cfg.first_block_factor * congestion / lns)));
+  double alpha = cfg.alpha;
+  if (alpha <= 0.0) {
+    // The paper's gamma = (1 - 1/beta)^{#layers}: the probability that none
+    // of the other copies landed in an earlier block.
+    alpha = std::pow(1.0 - 1.0 / beta, static_cast<double>(layers));
+    alpha = std::min(0.95, std::max(0.05, alpha));
+  }
+  switch (cfg.delay_kind) {
+    case DelayKind::kBlock:
+      return std::make_unique<BlockDelayDistribution>(first_block, beta, alpha);
+    case DelayKind::kUniformMatched: {
+      const BlockDelayDistribution reference(first_block, beta, alpha);
+      return std::make_unique<UniformDelay>(reference.support_size());
+    }
+    case DelayKind::kUniformFull:
+      return std::make_unique<UniformDelay>(std::max<std::uint32_t>(1, congestion));
+  }
+  DASCHED_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::vector<std::uint32_t>>>
+PrivateRandomnessScheduler::compute_delays(const ScheduleProblem& problem,
+                                           const Clustering& clustering,
+                                           const SharedSeeds& seeds,
+                                           std::uint32_t* support_out) const {
+  const NodeId n = problem.graph().num_nodes();
+  const std::size_t k = problem.size();
+  const auto layers = static_cast<std::uint32_t>(clustering.num_layers());
+  const std::uint32_t congestion =
+      cfg_.congestion_estimate > 0 ? cfg_.congestion_estimate : problem.congestion();
+
+  const auto dist = make_delay_distribution(cfg_, congestion, layers, n);
+  if (support_out != nullptr) *support_out = dist->support_size();
+
+  // One prime for everyone (all nodes can derive it from n and the congestion
+  // estimate): large enough that unit_value granularity is irrelevant.
+  const std::uint64_t prime =
+      next_prime(std::max<std::uint64_t>(1u << 20, 8ULL * dist->support_size()));
+
+  std::vector<std::vector<std::vector<std::uint32_t>>> delay(layers);
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    delay[l].assign(n, std::vector<std::uint32_t>(k, 0));
+    for (NodeId v = 0; v < n; ++v) {
+      // Every node expands the seed *it received*; nodes of one cluster hold
+      // identical words, hence identical delays -- the consistency the paper
+      // needs inside each dilation-neighborhood.
+      const auto& words = seeds.layers[l].words[v];
+      const KWiseFamily family(prime, static_cast<std::uint32_t>(words.size()), words);
+      for (std::size_t a = 0; a < k; ++a) {
+        delay[l][v][a] = dist->delay_from_unit(family.unit_value(a));
+      }
+    }
+  }
+  return delay;
+}
+
+PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem) const {
+  problem.run_solo();
+  const auto& g = problem.graph();
+  const NodeId n = g.num_nodes();
+  const std::size_t k = problem.size();
+  const std::uint32_t dilation = problem.dilation();
+
+  PrivateScheduleOutcome out;
+
+  // --- 1. Clustering (Lemma 4.2). ---
+  ClusteringConfig ccfg = cfg_.clustering;
+  ccfg.seed = cfg_.seed;
+  ccfg.dilation = dilation;
+  const ClusteringBuilder builder(ccfg);
+  const Clustering clustering =
+      cfg_.central_clustering ? builder.build_central(g) : builder.build_distributed(g);
+  out.precomputation_rounds += clustering.precomputation_rounds;
+  out.num_layers = static_cast<std::uint32_t>(clustering.num_layers());
+  out.hop_cap = clustering.hop_cap;
+
+  // --- 2. Randomness sharing (Lemma 4.3). ---
+  RandSharingConfig scfg = cfg_.sharing;
+  scfg.seed = cfg_.seed;
+  const RandomnessSharing sharing(scfg);
+  const SharedSeeds seeds = cfg_.central_sharing ? sharing.run_central(g, clustering)
+                                                 : sharing.run_distributed(g, clustering);
+  out.precomputation_rounds += seeds.rounds;
+  for (const auto& layer : seeds.layers) {
+    for (const auto c : layer.complete) {
+      if (!c) ++out.incomplete_seed_nodes;
+    }
+  }
+
+  // --- Coverage diagnostics. ---
+  {
+    double total = 0;
+    std::uint32_t min_cov = ~std::uint32_t{0};
+    for (NodeId v = 0; v < n; ++v) {
+      const auto cov = clustering.coverage(v, dilation);
+      total += cov;
+      min_cov = std::min(min_cov, cov);
+      if (cov == 0) ++out.uncovered_nodes;
+    }
+    out.mean_coverage = total / n;
+    out.min_coverage = min_cov;
+  }
+
+  // --- 3. Delays from cluster-local shared randomness. ---
+  const auto delay = compute_delays(problem, clustering, seeds, &out.delay_support);
+
+  // --- 4. Earliest-eligible-layer schedule (Lemma 4.4 de-dup fixed point).---
+  // Precompute exec times: exec(a, v, r) = min over layers with
+  // h'_l(v) >= r-1 of delay(l, v, a) + (r - 1).
+  const auto layers = static_cast<std::uint32_t>(clustering.num_layers());
+  std::vector<std::vector<std::vector<std::uint32_t>>> exec_time(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    exec_time[a].assign(n, {});
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    // Layers sorted by h'(v) descending; min-delay prefix per algorithm.
+    std::vector<std::uint32_t> order(layers);
+    for (std::uint32_t l = 0; l < layers; ++l) order[l] = l;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+      return clustering.layers[x].h_prime[v] > clustering.layers[y].h_prime[v];
+    });
+    for (std::size_t a = 0; a < k; ++a) {
+      const std::uint32_t rounds = problem.algorithm(a).rounds();
+      auto& slots = exec_time[a][v];
+      slots.assign(rounds, kNeverScheduled);
+      // Walk rounds from 1 upward; maintain the prefix of layers with
+      // h' >= r - 1 and its min delay.
+      std::uint32_t prefix = 0;
+      std::uint32_t min_delay = kNeverScheduled;
+      for (std::uint32_t r = rounds; r >= 1; --r) {
+        // Extend the prefix with layers whose h' >= r-1 (descending h').
+        while (prefix < layers &&
+               clustering.layers[order[prefix]].h_prime[v] >= r - 1) {
+          min_delay = std::min(min_delay, delay[order[prefix]][v][a]);
+          ++prefix;
+        }
+        if (min_delay != kNeverScheduled) {
+          slots[r - 1] = min_delay + (r - 1);
+        }
+        // (Recomputed per r: prefix only grows as r decreases.)
+      }
+    }
+  }
+
+  Executor executor(g, {});
+  const auto algos = problem.algorithm_ptrs();
+  out.exec = executor.run(algos, [&exec_time](std::size_t a, NodeId v, std::uint32_t r) {
+    return exec_time[a][v][r - 1];
+  });
+
+  out.phase_len = cfg_.phase_len > 0
+                      ? cfg_.phase_len
+                      : std::max<std::uint32_t>(1, ceil_log2(std::max<NodeId>(2, n)));
+  out.schedule_rounds = out.exec.adaptive_physical_rounds();
+  out.fixed = out.exec.fixed_phase(out.phase_len);
+  return out;
+}
+
+std::vector<std::uint32_t> PrivateRandomnessScheduler::no_dedup_loads(
+    const ScheduleProblem& problem, const Clustering& clustering,
+    const std::vector<std::vector<std::vector<std::uint32_t>>>& delay) {
+  const auto& g = problem.graph();
+  const auto layers = static_cast<std::uint32_t>(clustering.num_layers());
+
+  // load[t][d] would be huge; track per-big-round maxima with a flat map.
+  std::vector<std::vector<std::uint32_t>> load;  // [t][directed edge]
+  auto bump = [&](std::uint32_t t, std::uint32_t d) {
+    if (t >= load.size()) load.resize(t + 1);
+    if (load[t].empty()) load[t].assign(g.num_directed_edges(), 0);
+    ++load[t][d];
+  };
+
+  for (std::size_t a = 0; a < problem.size(); ++a) {
+    const auto& pattern = problem.solo()[a].pattern;
+    for (std::uint32_t r = 1; r <= pattern.last_message_round(); ++r) {
+      for (const auto d : pattern.edges_in_round(r)) {
+        const EdgeId e = d / 2;
+        const auto [lo, hi] = g.endpoints(e);
+        const NodeId sender = (d % 2 == 0) ? lo : hi;
+        for (std::uint32_t l = 0; l < layers; ++l) {
+          if (clustering.layers[l].h_prime[sender] >= r - 1) {
+            bump(delay[l][sender][a] + (r - 1), d);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> max_per_round(load.size(), 0);
+  for (std::size_t t = 0; t < load.size(); ++t) {
+    for (const auto x : load[t]) max_per_round[t] = std::max(max_per_round[t], x);
+  }
+  return max_per_round;
+}
+
+}  // namespace dasched

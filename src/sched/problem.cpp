@@ -1,0 +1,81 @@
+#include "sched/problem.hpp"
+
+#include <algorithm>
+
+#include "congest/pattern.hpp"
+#include "util/check.hpp"
+
+namespace dasched {
+
+void ScheduleProblem::add(std::unique_ptr<DistributedAlgorithm> algorithm) {
+  DASCHED_CHECK_MSG(solo_.empty(), "add algorithms before run_solo()");
+  DASCHED_CHECK(algorithm != nullptr);
+  DASCHED_CHECK(algorithm->rounds() >= 1);
+  algorithms_.push_back(std::move(algorithm));
+}
+
+std::vector<const DistributedAlgorithm*> ScheduleProblem::algorithm_ptrs() const {
+  std::vector<const DistributedAlgorithm*> ptrs;
+  ptrs.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) ptrs.push_back(a.get());
+  return ptrs;
+}
+
+void ScheduleProblem::run_solo() {
+  if (solo_done()) return;
+  Simulator sim(*graph_);
+  solo_.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) solo_.push_back(sim.run(*a));
+}
+
+const std::vector<SoloRunResult>& ScheduleProblem::solo() const {
+  DASCHED_CHECK_MSG(solo_done(), "call run_solo() first");
+  return solo_;
+}
+
+std::uint32_t ScheduleProblem::dilation() const {
+  std::uint32_t d = 0;
+  for (const auto& a : algorithms_) d = std::max(d, a->rounds());
+  return d;
+}
+
+std::uint32_t ScheduleProblem::congestion() const {
+  DASCHED_CHECK_MSG(solo_done(), "call run_solo() first");
+  std::vector<std::uint32_t> loads(graph_->num_directed_edges(), 0);
+  for (const auto& s : solo_) {
+    for (std::uint32_t d = 0; d < loads.size(); ++d) loads[d] += s.pattern.edge_load(d);
+  }
+  std::uint32_t congestion = 0;
+  for (const auto load : loads) congestion = std::max(congestion, load);
+  return congestion;
+}
+
+std::uint32_t ScheduleProblem::trivial_lower_bound() const {
+  return std::max(congestion(), dilation());
+}
+
+std::uint64_t ScheduleProblem::total_messages() const {
+  DASCHED_CHECK_MSG(solo_done(), "call run_solo() first");
+  std::uint64_t total = 0;
+  for (const auto& s : solo_) total += s.total_messages;
+  return total;
+}
+
+ScheduleProblem::Verification ScheduleProblem::verify(const ExecutionResult& exec) const {
+  DASCHED_CHECK_MSG(solo_done(), "call run_solo() first");
+  DASCHED_CHECK(exec.outputs.size() == algorithms_.size());
+  Verification v;
+  v.causality_violations = exec.causality_violations;
+  for (std::size_t a = 0; a < algorithms_.size(); ++a) {
+    for (NodeId node = 0; node < graph_->num_nodes(); ++node) {
+      if (!exec.completed[a][node]) {
+        ++v.incomplete_nodes;
+      } else if (exec.outputs[a][node] != solo_[a].outputs[node]) {
+        ++v.mismatched_outputs;
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace dasched

@@ -1,0 +1,76 @@
+// The Distributed Algorithm Scheduling (DAS) problem instance (Section 2).
+//
+// A problem is a network plus k independent black-box algorithms A_1..A_k.
+// The two parameters every bound in the paper is stated in:
+//
+//   dilation   = max_i (rounds of A_i)
+//   congestion = max over directed edges e of sum_i c_i(e), where c_i(e) is
+//                the number of rounds in which A_i sends a message over e
+//
+// are computed here from solo executions. Solo runs also provide the
+// ground-truth outputs: the DAS correctness requirement is that under any
+// schedule "each node outputs the same value as if that algorithm was run
+// alone", which verify() checks bit-for-bit.
+//
+// Note the paper's upper bounds assume nodes know constant-factor
+// approximations of congestion and dilation; schedulers in this repo read the
+// exact values from here, and tests exercise robustness to misestimates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "congest/executor.hpp"
+#include "congest/simulator.hpp"
+#include "graph/graph.hpp"
+
+namespace dasched {
+
+class ScheduleProblem {
+ public:
+  explicit ScheduleProblem(const Graph& g) : graph_(&g) {}
+
+  void add(std::unique_ptr<DistributedAlgorithm> algorithm);
+
+  std::size_t size() const { return algorithms_.size(); }
+  const Graph& graph() const { return *graph_; }
+  const DistributedAlgorithm& algorithm(std::size_t i) const { return *algorithms_[i]; }
+  std::vector<const DistributedAlgorithm*> algorithm_ptrs() const;
+
+  /// Runs every algorithm alone, recording outputs and patterns. Idempotent.
+  void run_solo();
+  bool solo_done() const { return !solo_.empty(); }
+  const std::vector<SoloRunResult>& solo() const;
+
+  /// max_i rounds(A_i). Available without solo runs.
+  std::uint32_t dilation() const;
+
+  /// max_e sum_i c_i(e) over directed edges. Requires run_solo().
+  std::uint32_t congestion() const;
+
+  /// The trivial lower bound max(congestion, dilation) >= (c+d)/2.
+  std::uint32_t trivial_lower_bound() const;
+
+  std::uint64_t total_messages() const;
+
+  struct Verification {
+    std::uint64_t incomplete_nodes = 0;   // (alg, node) pairs not run to completion
+    std::uint64_t mismatched_outputs = 0; // completed but output != solo
+    std::uint64_t causality_violations = 0;
+    bool ok() const {
+      return incomplete_nodes == 0 && mismatched_outputs == 0 &&
+             causality_violations == 0;
+    }
+  };
+
+  /// Compares an execution against the solo ground truth.
+  Verification verify(const ExecutionResult& exec) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<std::unique_ptr<DistributedAlgorithm>> algorithms_;
+  std::vector<SoloRunResult> solo_;
+};
+
+}  // namespace dasched

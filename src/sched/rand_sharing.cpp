@@ -1,0 +1,232 @@
+#include "sched/rand_sharing.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "congest/simulator.hpp"
+#include "util/math.hpp"
+
+namespace dasched {
+
+bool SharedSeeds::all_complete() const {
+  for (const auto& layer : layers) {
+    for (const auto c : layer.complete) {
+      if (!c) return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t RandomnessSharing::resolved_words(NodeId n) const {
+  if (cfg_.words_per_seed > 0) return cfg_.words_per_seed;
+  return std::max<std::uint32_t>(2, static_cast<std::uint32_t>(log_ceil_ln(n)));
+}
+
+namespace {
+
+/// Key of one token: (label, sub-label) is the forwarding priority; the held
+/// hop-count plays two separate roles, exactly as in Lemma 4.2's flood:
+/// *ripeness* (a token with hop-count h moves no earlier than round h+1 --
+/// the paper's "the message with hop-count i" synchronization) and *budget*
+/// (a token never travels more than H hop-units, fake initial hops included,
+/// so it reaches exactly its center's ball). Queueing delay does not consume
+/// budget; Lenzen's pipelining bounds the delay by the token's rank.
+struct TokenKey {
+  std::uint64_t label;
+  std::uint32_t sub;
+
+  auto operator<=>(const TokenKey&) const = default;
+};
+
+class SharingLayerAlgorithm final : public DistributedAlgorithm {
+ public:
+  SharingLayerAlgorithm(std::uint64_t base_seed, TruncatedExponentialRadius dist,
+                        std::uint32_t hop_cap, std::uint32_t words,
+                        std::uint32_t slack)
+      : DistributedAlgorithm(base_seed),
+        dist_(dist),
+        hop_cap_(hop_cap),
+        words_(words),
+        slack_(slack) {}
+
+  std::string name() const override { return "rand-sharing-layer"; }
+  std::uint32_t rounds() const override {
+    // H + Theta(s): the pipelining delay of a token is bounded by the number
+    // of smaller-keyed tokens it meets, empirically < 2s across topologies;
+    // 3s is a safe constant and keeps the budget O(dilation log n).
+    return hop_cap_ + 3 * words_ + slack_;
+  }
+  std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+
+  const TruncatedExponentialRadius& dist() const { return dist_; }
+  std::uint32_t hop_cap() const { return hop_cap_; }
+  std::uint32_t words() const { return words_; }
+
+ private:
+  TruncatedExponentialRadius dist_;
+  std::uint32_t hop_cap_;
+  std::uint32_t words_;
+  std::uint32_t slack_;
+};
+
+class SharingLayerProgram final : public NodeProgram {
+ public:
+  explicit SharingLayerProgram(const SharingLayerAlgorithm& algo) : algo_(algo) {}
+
+  void on_round(VirtualContext& ctx) override {
+    if (ctx.vround() == 1) init(ctx);
+    absorb(ctx);
+    // Forward the smallest (label, sub) token that is ripe (hop <= round-1),
+    // has hop budget left, and has not been sent at this (or a smaller) hop
+    // before. A token is re-forwarded if a lower-hop copy arrived later (a
+    // queue-delayed short-path copy can lose the race to a long-path copy;
+    // the relaxation keeps the reach of every token exact).
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      auto& st = it->second;
+      if (st.hop + 1 > algo_.hop_cap()) continue;  // budget exhausted here
+      if (st.hop >= st.sent_hop) continue;         // no improvement to ship
+      if (st.hop > ctx.vround() - 1) continue;     // not ripe yet
+      const TokenKey key = it->first;
+      const std::uint64_t word = words_.at({key.label, key.sub});
+      st.sent_hop = st.hop;
+      for (const auto& nb : ctx.neighbors()) {
+        ctx.send(nb.neighbor, {key.label, key.sub, word, st.hop + 1});
+      }
+      break;
+    }
+  }
+
+  void on_finish(VirtualContext& ctx) override { absorb(ctx); }
+
+  std::vector<std::uint64_t> output() const override {
+    // {min label, count, word_0 .. word_{s-1}} for the min label.
+    std::vector<std::uint64_t> out = {min_label_, 0};
+    std::uint64_t count = 0;
+    for (std::uint32_t j = 0; j < algo_.words(); ++j) {
+      const auto it = words_.find({min_label_, j});
+      if (it != words_.end()) {
+        out.push_back(it->second);
+        ++count;
+      } else {
+        out.push_back(0);
+      }
+    }
+    out[1] = count;
+    return out;
+  }
+
+ private:
+  void init(VirtualContext& ctx) {
+    std::uint32_t radius;
+    std::uint64_t label;
+    // Identical first draws as the clustering layer program.
+    ClusteringBuilder::draw_node_params(ctx.rng(), algo_.dist(), ctx.self(), &radius,
+                                        &label);
+    min_label_ = label;
+    const std::uint32_t initial_hop = algo_.hop_cap() - radius;
+    for (std::uint32_t j = 0; j < algo_.words(); ++j) {
+      const std::uint64_t word = ctx.rng()();
+      words_[{label, j}] = word;
+      pending_.emplace(TokenKey{label, j}, TokenState{initial_hop});
+    }
+  }
+
+  void absorb(VirtualContext& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      const std::uint64_t label = m.payload.at(0);
+      const auto sub = static_cast<std::uint32_t>(m.payload.at(1));
+      const std::uint64_t word = m.payload.at(2);
+      const auto hop = static_cast<std::uint32_t>(m.payload.at(3));
+      min_label_ = std::min(min_label_, label);
+      words_.emplace(std::pair{label, sub}, word);
+      const auto [it, inserted] = pending_.emplace(TokenKey{label, sub}, TokenState{hop});
+      if (!inserted) it->second.hop = std::min(it->second.hop, hop);
+    }
+  }
+
+  const SharingLayerAlgorithm& algo_;
+  std::uint64_t min_label_ = ~std::uint64_t{0};
+  struct TokenState {
+    std::uint32_t hop;                      // best (smallest) held hop-count
+    std::uint32_t sent_hop = ~std::uint32_t{0};  // hop at the last send
+  };
+
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> words_;
+  std::map<TokenKey, TokenState> pending_;
+};
+
+std::unique_ptr<NodeProgram> SharingLayerAlgorithm::make_program(NodeId) const {
+  return std::make_unique<SharingLayerProgram>(*this);
+}
+
+}  // namespace
+
+SharedSeeds RandomnessSharing::run_distributed(const Graph& g,
+                                               const Clustering& clustering) const {
+  DASCHED_CHECK(!clustering.layers.empty());
+  const std::uint32_t s = resolved_words(g.num_nodes());
+  SharedSeeds result;
+  result.words_per_seed = s;
+
+  Simulator sim(g);
+  for (std::uint32_t l = 0; l < clustering.num_layers(); ++l) {
+    SharingLayerAlgorithm algo(ClusteringBuilder::layer_seed(cfg_.seed, l),
+                               clustering.radius_distribution_for_replay(),
+                               clustering.hop_cap, s, cfg_.slack_rounds);
+    const auto run = sim.run(algo);
+    result.rounds += algo.rounds();
+
+    SharedSeeds::Layer layer;
+    layer.words.resize(g.num_nodes());
+    layer.center_label.resize(g.num_nodes());
+    layer.complete.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& out = run.outputs[v];
+      layer.center_label[v] = out[0];
+      layer.complete[v] = (out[1] == s) ? 1 : 0;
+      layer.words[v].assign(out.begin() + 2, out.end());
+    }
+    result.layers.push_back(std::move(layer));
+  }
+  return result;
+}
+
+SharedSeeds RandomnessSharing::run_central(const Graph& g,
+                                           const Clustering& clustering) const {
+  const std::uint32_t s = resolved_words(g.num_nodes());
+  SharedSeeds result;
+  result.words_per_seed = s;
+  result.rounds = 0;
+
+  const auto dist = clustering.radius_distribution_for_replay();
+  for (std::uint32_t l = 0; l < clustering.num_layers(); ++l) {
+    const std::uint64_t lseed = ClusteringBuilder::layer_seed(cfg_.seed, l);
+    // Per center: replay the draw sequence (radius, label, then s words).
+    std::vector<std::vector<std::uint64_t>> center_words(g.num_nodes());
+    auto words_of = [&](NodeId u) -> const std::vector<std::uint64_t>& {
+      if (center_words[u].empty()) {
+        Rng rng(seed_combine(lseed, u));
+        std::uint32_t radius;
+        std::uint64_t label;
+        ClusteringBuilder::draw_node_params(rng, dist, u, &radius, &label);
+        center_words[u].reserve(s);
+        for (std::uint32_t j = 0; j < s; ++j) center_words[u].push_back(rng());
+      }
+      return center_words[u];
+    };
+
+    SharedSeeds::Layer layer;
+    layer.words.resize(g.num_nodes());
+    layer.center_label.resize(g.num_nodes());
+    layer.complete.assign(g.num_nodes(), 1);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const NodeId center = clustering.layers[l].center[v];
+      layer.words[v] = words_of(center);
+      layer.center_label[v] = clustering.layers[l].label[v];
+    }
+    result.layers.push_back(std::move(layer));
+  }
+  return result;
+}
+
+}  // namespace dasched

@@ -1,0 +1,62 @@
+#include "sched/shared_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rand/distributions.hpp"
+#include "rand/kwise.hpp"
+#include "util/math.hpp"
+
+namespace dasched {
+
+std::vector<std::uint32_t> SharedRandomnessScheduler::draw_delays(
+    std::uint64_t shared_seed, std::size_t num_algorithms, std::uint32_t delay_range,
+    std::uint32_t independence) {
+  DASCHED_CHECK(delay_range >= 1);
+  DASCHED_CHECK(independence >= 1);
+  // Field large enough that unit_value discretization cannot bias delays:
+  // prime >= max(2^20, 4 * range).
+  const std::uint64_t prime =
+      next_prime(std::max<std::uint64_t>(1u << 20, 4ULL * delay_range));
+  Rng seed_rng(shared_seed);
+  const KWiseFamily family(prime, independence, seed_rng);
+  const UniformDelay dist(delay_range);
+  std::vector<std::uint32_t> delays;
+  delays.reserve(num_algorithms);
+  for (std::size_t a = 0; a < num_algorithms; ++a) {
+    delays.push_back(dist.delay_from_unit(family.unit_value(a)));
+  }
+  return delays;
+}
+
+SharedScheduleOutcome SharedRandomnessScheduler::run(ScheduleProblem& problem) const {
+  problem.run_solo();
+  const NodeId n = problem.graph().num_nodes();
+  const std::uint32_t log_n = std::max(1, ceil_log2(std::max<NodeId>(2, n)));
+
+  SharedScheduleOutcome out;
+  out.phase_len = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(cfg_.phase_factor * log_n)));
+  const std::uint32_t congestion =
+      cfg_.congestion_estimate > 0 ? cfg_.congestion_estimate : problem.congestion();
+  out.delay_range = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::ceil(cfg_.range_factor * congestion / out.phase_len)));
+  const std::uint32_t independence =
+      cfg_.independence > 0 ? cfg_.independence : std::max<std::uint32_t>(2, log_n);
+
+  out.delays = draw_delays(cfg_.shared_seed, problem.size(), out.delay_range, independence);
+
+  Executor executor(problem.graph(), {});
+  const auto algos = problem.algorithm_ptrs();
+  const auto& delays = out.delays;
+  out.exec = executor.run(algos, [&delays](std::size_t a, NodeId, std::uint32_t r) {
+    return delays[a] + (r - 1);
+  });
+
+  out.schedule_rounds = out.exec.adaptive_physical_rounds();
+  out.fixed = out.exec.fixed_phase(out.phase_len);
+  return out;
+}
+
+}  // namespace dasched

@@ -1,0 +1,75 @@
+#include "sched/workloads.hpp"
+
+#include "algos/aggregate.hpp"
+#include "algos/bfs.hpp"
+#include "algos/broadcast.hpp"
+#include "algos/path_routing.hpp"
+
+namespace dasched {
+
+namespace {
+
+NodeId random_node(const Graph& g, Rng& rng) {
+  return static_cast<NodeId>(rng.next_below(g.num_nodes()));
+}
+
+}  // namespace
+
+std::unique_ptr<ScheduleProblem> make_broadcast_workload(const Graph& g, std::size_t k,
+                                                         std::uint32_t radius,
+                                                         std::uint64_t seed) {
+  auto problem = std::make_unique<ScheduleProblem>(g);
+  Rng rng(seed_combine(seed, 0xB0));
+  for (std::size_t i = 0; i < k; ++i) {
+    problem->add(std::make_unique<BroadcastAlgorithm>(
+        random_node(g, rng), radius, splitmix64(seed ^ i), seed_combine(seed, i, 1)));
+  }
+  return problem;
+}
+
+std::unique_ptr<ScheduleProblem> make_bfs_workload(const Graph& g, std::size_t k,
+                                                   std::uint32_t radius,
+                                                   std::uint64_t seed) {
+  auto problem = std::make_unique<ScheduleProblem>(g);
+  Rng rng(seed_combine(seed, 0xBF));
+  for (std::size_t i = 0; i < k; ++i) {
+    problem->add(std::make_unique<BfsAlgorithm>(random_node(g, rng), radius,
+                                                seed_combine(seed, i, 2)));
+  }
+  return problem;
+}
+
+std::unique_ptr<ScheduleProblem> make_routing_workload(const Graph& g, std::size_t k,
+                                                       std::uint64_t seed) {
+  auto problem = std::make_unique<ScheduleProblem>(g);
+  Rng rng(seed_combine(seed, 0x20));
+  auto packets = make_random_routing_instance(g, k, rng, seed);
+  for (auto& p : packets) problem->add(std::move(p));
+  return problem;
+}
+
+std::unique_ptr<ScheduleProblem> make_mixed_workload(const Graph& g, std::size_t k,
+                                                     std::uint32_t radius,
+                                                     std::uint64_t seed) {
+  auto problem = std::make_unique<ScheduleProblem>(g);
+  Rng rng(seed_combine(seed, 0x3D));
+  for (std::size_t i = 0; i < k; ++i) {
+    switch (i % 3) {
+      case 0:
+        problem->add(std::make_unique<BroadcastAlgorithm>(
+            random_node(g, rng), radius, splitmix64(seed ^ i), seed_combine(seed, i, 3)));
+        break;
+      case 1:
+        problem->add(std::make_unique<BfsAlgorithm>(random_node(g, rng), radius,
+                                                    seed_combine(seed, i, 4)));
+        break;
+      default:
+        problem->add(std::make_unique<AggregateAlgorithm>(random_node(g, rng), radius,
+                                                          seed_combine(seed, i, 5)));
+        break;
+    }
+  }
+  return problem;
+}
+
+}  // namespace dasched

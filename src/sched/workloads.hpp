@@ -1,0 +1,38 @@
+// Workload generators: canonical DAS problem instances.
+//
+// These are the workloads the paper's introduction motivates: k h-hop
+// broadcasts from random sources (item I), k h-hop BFS instances (item II),
+// packet routing along shortest paths (item III), and a mixed bag that adds
+// tree aggregations. Used by tests, benchmarks, and examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "sched/problem.hpp"
+#include "util/rng.hpp"
+
+namespace dasched {
+
+/// k h-hop broadcasts from distinct random sources.
+std::unique_ptr<ScheduleProblem> make_broadcast_workload(const Graph& g, std::size_t k,
+                                                         std::uint32_t radius,
+                                                         std::uint64_t seed);
+
+/// k h-hop BFS instances from distinct random sources.
+std::unique_ptr<ScheduleProblem> make_bfs_workload(const Graph& g, std::size_t k,
+                                                   std::uint32_t radius,
+                                                   std::uint64_t seed);
+
+/// k shortest-path packet routings between random pairs (the LMR workload).
+std::unique_ptr<ScheduleProblem> make_routing_workload(const Graph& g, std::size_t k,
+                                                       std::uint64_t seed);
+
+/// Mixed workload: k/3 broadcasts, k/3 BFS, k/3 aggregations (plus remainder
+/// broadcasts), all with the given radius.
+std::unique_ptr<ScheduleProblem> make_mixed_workload(const Graph& g, std::size_t k,
+                                                     std::uint32_t radius,
+                                                     std::uint64_t seed);
+
+}  // namespace dasched

@@ -1,0 +1,36 @@
+// Lightweight contract-checking macros.
+//
+// DASCHED_CHECK is always on (simulator correctness matters more than the last
+// few percent of speed); DASCHED_DCHECK compiles out in NDEBUG builds and is
+// meant for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dasched::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace dasched::detail
+
+#define DASCHED_CHECK(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) ::dasched::detail::check_failed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define DASCHED_CHECK_MSG(cond, msg)                                   \
+  do {                                                                 \
+    if (!(cond)) ::dasched::detail::check_failed(msg " [" #cond "]", __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define DASCHED_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#else
+#define DASCHED_DCHECK(cond) DASCHED_CHECK(cond)
+#endif

@@ -1,0 +1,87 @@
+#include "util/math.hpp"
+
+#include <bit>
+#include <initializer_list>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  DASCHED_DCHECK(m > 0);
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  DASCHED_CHECK(m > 0);
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base, m);
+    base = mul_mod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d, int r) {
+  std::uint64_t x = pow_mod(a % n, d, n);
+  if (x == 0 || x == 1 || x == n - 1) return false;  // not a witness
+  for (int i = 1; i < r; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // composite witnessed
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair et al.).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  DASCHED_CHECK(n >= 2);
+  std::uint64_t candidate = n;
+  while (!is_prime(candidate)) ++candidate;
+  return candidate;
+}
+
+int floor_log2(std::uint64_t x) {
+  DASCHED_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  DASCHED_CHECK(x >= 1);
+  const int f = floor_log2(x);
+  return (x == (std::uint64_t{1} << f)) ? f : f + 1;
+}
+
+int log_ceil_ln(std::uint64_t n) {
+  if (n < 3) return 1;
+  return static_cast<int>(std::ceil(std::log(static_cast<double>(n))));
+}
+
+}  // namespace dasched

@@ -1,0 +1,42 @@
+// Aligned ASCII table printer for experiment output.
+//
+// Every bench binary prints one table per reproduced result, in the spirit of
+// the rows a paper's evaluation section would report. Cells are strings;
+// numeric helpers format with sensible precision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dasched {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set column headers; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment to the given stream.
+  void print(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+  // Formatting helpers.
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dasched

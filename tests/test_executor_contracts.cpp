@@ -1,0 +1,173 @@
+// Failure-injection tests: the executor must *reject* invalid algorithms and
+// invalid schedules loudly (death tests on the CHECK contracts), and must
+// report -- not hide -- semantically broken-but-legal schedules.
+#include <gtest/gtest.h>
+
+#include "algos/broadcast.hpp"
+#include "congest/executor.hpp"
+#include "congest/simulator.hpp"
+#include "graph/generators.hpp"
+
+namespace dasched {
+namespace {
+
+/// An algorithm whose single program misbehaves in a configurable way.
+class MisbehavingAlgorithm final : public DistributedAlgorithm {
+ public:
+  enum class Mode {
+    kSendToNonNeighbor,
+    kDoubleSendToNeighbor,
+    kOversizedPayload,
+    kBandwidthHog,  // valid per-program, but two instances collide (solo only)
+  };
+
+  MisbehavingAlgorithm(Mode mode, std::uint32_t rounds)
+      : DistributedAlgorithm(1), mode_(mode), rounds_(rounds) {}
+
+  std::string name() const override { return "misbehaving"; }
+  std::uint32_t rounds() const override { return rounds_; }
+  std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+
+  Mode mode() const { return mode_; }
+
+ private:
+  Mode mode_;
+  std::uint32_t rounds_;
+};
+
+class MisbehavingProgram final : public NodeProgram {
+ public:
+  MisbehavingProgram(MisbehavingAlgorithm::Mode mode, NodeId self)
+      : mode_(mode), self_(self) {}
+
+  void on_round(VirtualContext& ctx) override {
+    using Mode = MisbehavingAlgorithm::Mode;
+    if (self_ != 0) return;
+    switch (mode_) {
+      case Mode::kSendToNonNeighbor:
+        ctx.send(ctx.num_nodes() - 1, {1});  // path graph: not adjacent to 0
+        break;
+      case Mode::kDoubleSendToNeighbor:
+        ctx.send(1, {1});
+        ctx.send(1, {2});
+        break;
+      case Mode::kOversizedPayload: {
+        Payload big(kDefaultMaxPayloadWords + 1, 7);
+        ctx.send(1, std::move(big));
+        break;
+      }
+      case Mode::kBandwidthHog:
+        ctx.send(1, {self_});
+        break;
+    }
+  }
+
+ private:
+  MisbehavingAlgorithm::Mode mode_;
+  NodeId self_;
+};
+
+std::unique_ptr<NodeProgram> MisbehavingAlgorithm::make_program(NodeId node) const {
+  return std::make_unique<MisbehavingProgram>(mode_, node);
+}
+
+using Mode = MisbehavingAlgorithm::Mode;
+
+TEST(ExecutorContracts, RejectsSendToNonNeighbor) {
+  const auto g = make_path(4);
+  MisbehavingAlgorithm algo(Mode::kSendToNonNeighbor, 2);
+  Simulator sim(g);
+  EXPECT_DEATH((void)sim.run(algo), "non-neighbor");
+}
+
+TEST(ExecutorContracts, RejectsDoubleSendToSameNeighbor) {
+  const auto g = make_path(4);
+  MisbehavingAlgorithm algo(Mode::kDoubleSendToNeighbor, 2);
+  Simulator sim(g);
+  EXPECT_DEATH((void)sim.run(algo), "two messages to one neighbor");
+}
+
+TEST(ExecutorContracts, RejectsOversizedPayload) {
+  const auto g = make_path(4);
+  MisbehavingAlgorithm algo(Mode::kOversizedPayload, 2);
+  Simulator sim(g);
+  EXPECT_DEATH((void)sim.run(algo), "word budget");
+}
+
+TEST(ExecutorContracts, SoloEnforcesUnitBandwidth) {
+  // Two bandwidth hogs scheduled into the SAME big-round over one edge: the
+  // unit-capacity check must fire (this is what makes Simulator a CONGEST
+  // simulator rather than a message bus).
+  const auto g = make_path(4);
+  MisbehavingAlgorithm a(Mode::kBandwidthHog, 2);
+  MisbehavingAlgorithm b(Mode::kBandwidthHog, 2);
+  ExecConfig cfg;
+  cfg.enforce_unit_capacity = true;
+  Executor executor(g, cfg);
+  const DistributedAlgorithm* algos[] = {&a, &b};
+  EXPECT_DEATH(
+      (void)executor.run(algos, [](std::size_t, NodeId, std::uint32_t r) { return r - 1; }),
+      "bandwidth");
+}
+
+TEST(ExecutorContracts, SchedulerBigRoundsMayCarryManyMessages) {
+  // Without the solo flag, co-scheduling is legal and the load is recorded.
+  const auto g = make_path(4);
+  MisbehavingAlgorithm a(Mode::kBandwidthHog, 2);
+  MisbehavingAlgorithm b(Mode::kBandwidthHog, 2);
+  Executor executor(g, {});
+  const DistributedAlgorithm* algos[] = {&a, &b};
+  const auto exec =
+      executor.run(algos, [](std::size_t, NodeId, std::uint32_t r) { return r - 1; });
+  EXPECT_EQ(exec.max_edge_load, 2u);
+}
+
+TEST(ExecutorContracts, RejectsNonMonotoneSchedule) {
+  const auto g = make_path(3);
+  BroadcastAlgorithm algo(0, 3, 1, 1);
+  Executor executor(g, {});
+  const DistributedAlgorithm* algos[] = {&algo};
+  EXPECT_DEATH((void)executor.run(algos,
+                                  [](std::size_t, NodeId, std::uint32_t r) {
+                                    return r == 2 ? 0u : r;  // round 2 before round 1
+                                  }),
+               "strictly increasing");
+}
+
+TEST(ExecutorContracts, RejectsGappySchedule) {
+  const auto g = make_path(3);
+  BroadcastAlgorithm algo(0, 3, 1, 1);
+  Executor executor(g, {});
+  const DistributedAlgorithm* algos[] = {&algo};
+  EXPECT_DEATH((void)executor.run(algos,
+                                  [](std::size_t, NodeId, std::uint32_t r) {
+                                    return r == 2 ? kNeverScheduled : r;  // hole at r=2
+                                  }),
+               "gap");
+}
+
+TEST(ExecutorContracts, SendDuringFinishDies) {
+  class FinishSender final : public NodeProgram {
+   public:
+    void on_round(VirtualContext&) override {}
+    void on_finish(VirtualContext& ctx) override {
+      if (ctx.self() == 0) ctx.send(1, {1});
+    }
+  };
+  class FinishSenderAlgo final : public DistributedAlgorithm {
+   public:
+    FinishSenderAlgo() : DistributedAlgorithm(1) {}
+    std::string name() const override { return "finish-sender"; }
+    std::uint32_t rounds() const override { return 1; }
+    std::unique_ptr<NodeProgram> make_program(NodeId) const override {
+      return std::make_unique<FinishSender>();
+    }
+  };
+  const auto g = make_path(2);
+  FinishSenderAlgo algo;
+  Simulator sim(g);
+  EXPECT_DEATH((void)sim.run(algo), "on_finish");
+}
+
+}  // namespace
+}  // namespace dasched

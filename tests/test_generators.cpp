@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dasched {
+namespace {
+
+TEST(Generators, PathCycleCompleteStar) {
+  EXPECT_EQ(make_path(5).num_edges(), 4u);
+  EXPECT_EQ(make_cycle(5).num_edges(), 5u);
+  EXPECT_EQ(make_complete(6).num_edges(), 15u);
+  EXPECT_EQ(make_star(7).num_edges(), 6u);
+  EXPECT_TRUE(make_path(1).is_connected());
+}
+
+TEST(Generators, GridShapes) {
+  const auto g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.is_connected());
+
+  const auto t = make_grid(4, 4, /*torus=*/true);
+  EXPECT_EQ(t.num_edges(), 32u);
+  for (NodeId v = 0; v < t.num_nodes(); ++v) EXPECT_EQ(t.degree(v), 4u);
+  EXPECT_EQ(exact_diameter(t), 4u);
+}
+
+TEST(Generators, BinaryTree) {
+  const auto g = make_binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(7), 1u);   // leaf
+  EXPECT_EQ(g.degree(3), 3u);   // internal
+}
+
+TEST(Generators, GnpConnectedAlwaysConnected) {
+  Rng rng(5);
+  for (const double p : {0.0, 0.01, 0.1, 0.5}) {
+    const auto g = make_gnp_connected(50, p, rng);
+    EXPECT_EQ(g.num_nodes(), 50u);
+    EXPECT_TRUE(g.is_connected()) << "p=" << p;
+  }
+}
+
+TEST(Generators, RandomConnectedExactEdgeCount) {
+  Rng rng(6);
+  const auto g = make_random_connected(30, 90, rng);
+  EXPECT_EQ(g.num_edges(), 90u);
+  EXPECT_TRUE(g.is_connected());
+  const auto tree = make_random_connected(30, 29, rng);
+  EXPECT_EQ(tree.num_edges(), 29u);
+  EXPECT_TRUE(tree.is_connected());
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  Rng rng(8);
+  const auto g = make_random_regular(40, 4, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.num_edges(), 80u);
+}
+
+TEST(Generators, Lollipop) {
+  const auto g = make_lollipop(20, 8);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.num_edges(), 8u * 7 / 2 + 12);
+  EXPECT_EQ(exact_diameter(g), 13u);  // across the clique + path tail
+}
+
+TEST(Generators, LayeredTopologyStructure) {
+  const NodeId layers = 4;
+  const NodeId width = 5;
+  const auto g = make_layered(layers, width);
+  EXPECT_EQ(g.num_nodes(), layers + 1 + layers * width);
+  EXPECT_EQ(g.num_edges(), 2u * layers * width);
+  EXPECT_TRUE(g.is_connected());
+  // Spine degrees: v_0 and v_L touch one group; inner spines touch two.
+  EXPECT_EQ(g.degree(layered_spine(0)), width);
+  EXPECT_EQ(g.degree(layered_spine(layers)), width);
+  EXPECT_EQ(g.degree(layered_spine(1)), 2 * width);
+  // Group nodes connect exactly to the two adjacent spine nodes.
+  const NodeId u = layered_group_node(layers, width, 2, 3);
+  EXPECT_EQ(g.degree(u), 2u);
+  EXPECT_NE(g.find_edge(u, layered_spine(1)), kInvalidEdge);
+  EXPECT_NE(g.find_edge(u, layered_spine(2)), kInvalidEdge);
+  // Spine-to-spine distance is 2 per layer.
+  EXPECT_EQ(bfs_distances(g, layered_spine(0))[layered_spine(layers)], 2 * layers);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,168 @@
+// Integration tests for the Theorem 1.1 scheduler and both baselines:
+// correctness on every workload/graph combination, and the headline length
+// bounds (schedule <= O(congestion + dilation log n), sequential == sum of
+// dilations, greedy >= max(congestion, dilation)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "sched/baseline.hpp"
+#include "sched/problem.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace dasched {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::function<Graph()> graph;
+  std::function<std::unique_ptr<ScheduleProblem>(const Graph&)> workload;
+};
+
+std::vector<Scenario>& scenarios() {
+  static auto* cases = new std::vector<Scenario>{
+      {"bcast_grid",
+       [] { return make_grid(7, 7); },
+       [](const Graph& g) { return make_broadcast_workload(g, 10, 4, 11); }},
+      {"bfs_gnp",
+       [] {
+         Rng rng(42);
+         return make_gnp_connected(80, 0.06, rng);
+       },
+       [](const Graph& g) { return make_bfs_workload(g, 8, 4, 12); }},
+      {"routing_torus",
+       [] { return make_grid(6, 6, true); },
+       [](const Graph& g) { return make_routing_workload(g, 14, 13); }},
+      {"mixed_tree",
+       [] { return make_binary_tree(63); },
+       [](const Graph& g) { return make_mixed_workload(g, 9, 4, 14); }},
+      {"mixed_cycle",
+       [] { return make_cycle(40); },
+       [](const Graph& g) { return make_mixed_workload(g, 6, 5, 15); }},
+  };
+  return *cases;
+}
+
+class SchedulersOnScenarios : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SchedulersOnScenarios, SequentialIsCorrectAndSumOfDilations) {
+  const auto& sc = scenarios()[GetParam()];
+  const auto g = sc.graph();
+  auto problem = sc.workload(g);
+  const auto out = SequentialScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+  std::uint64_t sum = 0;
+  for (std::size_t a = 0; a < problem->size(); ++a) sum += problem->algorithm(a).rounds();
+  EXPECT_EQ(out.schedule_rounds, sum);
+}
+
+TEST_P(SchedulersOnScenarios, GreedyIsCorrectAndAboveTrivialBound) {
+  const auto& sc = scenarios()[GetParam()];
+  const auto g = sc.graph();
+  auto problem = sc.workload(g);
+  const auto out = GreedyScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+  // Any correct schedule is at least max(congestion, dilation) rounds; greedy
+  // must respect that and beat (or match) sequential.
+  EXPECT_GE(out.schedule_rounds, problem->trivial_lower_bound());
+  std::uint64_t sum = 0;
+  for (std::size_t a = 0; a < problem->size(); ++a) sum += problem->algorithm(a).rounds();
+  EXPECT_LE(out.schedule_rounds, sum);
+}
+
+TEST_P(SchedulersOnScenarios, SharedRandomnessIsCorrectOverSeeds) {
+  const auto& sc = scenarios()[GetParam()];
+  const auto g = sc.graph();
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto problem = sc.workload(g);
+    SharedSchedulerConfig cfg;
+    cfg.shared_seed = seed;
+    const auto out = SharedRandomnessScheduler(cfg).run(*problem);
+    const auto v = problem->verify(out.exec);
+    EXPECT_TRUE(v.ok()) << sc.name << " seed " << seed << ": incomplete "
+                        << v.incomplete_nodes << ", mismatched "
+                        << v.mismatched_outputs << ", violations "
+                        << v.causality_violations;
+  }
+}
+
+TEST_P(SchedulersOnScenarios, SharedRandomnessMeetsTheoremBound) {
+  const auto& sc = scenarios()[GetParam()];
+  const auto g = sc.graph();
+  auto problem = sc.workload(g);
+  const auto out = SharedRandomnessScheduler{}.run(*problem);
+  const double log_n = std::log2(std::max<NodeId>(2, g.num_nodes()));
+  const double bound =
+      8.0 * (problem->congestion() + problem->dilation() * log_n) + 8 * log_n;
+  EXPECT_LE(static_cast<double>(out.schedule_rounds), bound)
+      << "C=" << problem->congestion() << " D=" << problem->dilation();
+  // And never better than the trivial lower bound.
+  EXPECT_GE(out.schedule_rounds, problem->trivial_lower_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, SchedulersOnScenarios,
+                         ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return scenarios()[info.param].name;
+                         });
+
+TEST(SharedScheduler, DrawDelaysDeterministicAndInRange) {
+  const auto a = SharedRandomnessScheduler::draw_delays(7, 20, 13, 8);
+  const auto b = SharedRandomnessScheduler::draw_delays(7, 20, 13, 8);
+  EXPECT_EQ(a, b);
+  for (const auto d : a) EXPECT_LT(d, 13u);
+  const auto c = SharedRandomnessScheduler::draw_delays(8, 20, 13, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(SharedScheduler, PhaseLoadsStayLogarithmic) {
+  // The Chernoff-bound heart of Theorem 1.1: with phases of Theta(log n)
+  // rounds and uniform delays over congestion/log n phases, the max per-phase
+  // per-edge load is O(log n) w.h.p. We check a generous 6 log n cap.
+  Rng rng(21);
+  const auto g = make_gnp_connected(100, 0.05, rng);
+  auto problem = make_broadcast_workload(g, 24, 4, 99);
+  const auto out = SharedRandomnessScheduler{}.run(*problem);
+  const double log_n = std::log2(g.num_nodes());
+  EXPECT_LE(out.exec.max_edge_load, 6 * log_n);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+}
+
+TEST(SharedScheduler, RobustToCongestionMisestimate) {
+  // The paper assumes constant-factor estimates of congestion; a 2x-off
+  // estimate must still be correct and within a constant of the exact one.
+  Rng rng(23);
+  const auto g = make_grid(8, 8);
+  auto problem = make_mixed_workload(g, 8, 4, 31);
+  problem->run_solo();
+  const auto exact_c = problem->congestion();
+
+  SharedSchedulerConfig low;
+  low.congestion_estimate = std::max<std::uint32_t>(1, exact_c / 2);
+  auto problem2 = make_mixed_workload(g, 8, 4, 31);
+  const auto out_low = SharedRandomnessScheduler(low).run(*problem2);
+  EXPECT_TRUE(problem2->verify(out_low.exec).ok());
+
+  SharedSchedulerConfig high;
+  high.congestion_estimate = exact_c * 2;
+  auto problem3 = make_mixed_workload(g, 8, 4, 31);
+  const auto out_high = SharedRandomnessScheduler(high).run(*problem3);
+  EXPECT_TRUE(problem3->verify(out_high.exec).ok());
+}
+
+TEST(GreedyScheduler, PipelinesBroadcastsLikeTheClassicBound) {
+  // k broadcasts on a path pipeline to O(k + h) (Topkis's classical bound,
+  // item (I) of the paper's intro). Greedy should realize that, not k * h.
+  const auto g = make_path(30);
+  auto problem = make_broadcast_workload(g, 10, 20, 5);
+  problem->run_solo();
+  const auto out = GreedyScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+  EXPECT_LE(out.schedule_rounds,
+            2u * (problem->congestion() + problem->dilation()));
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,68 @@
+// Medium-scale end-to-end stress tests: guard against scalability and
+// integration regressions. Sizes chosen to keep the suite a few seconds.
+#include <gtest/gtest.h>
+
+
+#include <cmath>
+#include "graph/generators.hpp"
+#include "sched/baseline.hpp"
+#include "sched/private_scheduler.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace dasched {
+namespace {
+
+TEST(Stress, SharedSchedulerLargeInstance) {
+  Rng rng(1);
+  const auto g = make_gnp_connected(1500, 4.0 / 1500, rng);
+  auto problem = make_mixed_workload(g, 48, 4, 7);
+  const auto out = SharedRandomnessScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+  const double log_n = std::log2(g.num_nodes());
+  EXPECT_LE(out.schedule_rounds,
+            8.0 * (problem->congestion() + problem->dilation() * log_n));
+}
+
+TEST(Stress, PrivateSchedulerFullyDistributedMediumInstance) {
+  Rng rng(2);
+  const auto g = make_gnp_connected(500, 5.0 / 500, rng);
+  auto problem = make_mixed_workload(g, 16, 3, 8);
+  PrivateSchedulerConfig cfg;
+  cfg.seed = 3;
+  const auto out = PrivateRandomnessScheduler(cfg).run(*problem);
+  EXPECT_EQ(out.uncovered_nodes, 0u);
+  EXPECT_EQ(out.incomplete_seed_nodes, 0u);
+  EXPECT_EQ(out.exec.causality_violations, 0u);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+}
+
+TEST(Stress, GreedyManyAlgorithms) {
+  const auto g = make_grid(20, 20);
+  auto problem = make_broadcast_workload(g, 96, 5, 9);
+  const auto out = GreedyScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+  EXPECT_GE(out.schedule_rounds, problem->trivial_lower_bound());
+}
+
+TEST(Stress, HighDegreeStarWorkload) {
+  // Star graphs concentrate all congestion on the hub: the scheduler must
+  // serialize hub edges correctly.
+  const auto g = make_star(300);
+  auto problem = make_broadcast_workload(g, 40, 2, 10);
+  problem->run_solo();
+  EXPECT_GE(problem->congestion(), 30u);  // hub edges carry almost everything
+  const auto out = SharedRandomnessScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+}
+
+TEST(Stress, DeepPathWorkload) {
+  // Extreme diameter: dilation-dominated regime.
+  const auto g = make_path(800);
+  auto problem = make_bfs_workload(g, 6, 60, 11);
+  const auto out = SharedRandomnessScheduler{}.run(*problem);
+  EXPECT_TRUE(problem->verify(out.exec).ok());
+}
+
+}  // namespace
+}  // namespace dasched
