@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_rand_sharing.dir/bench_e4_rand_sharing.cpp.o"
+  "CMakeFiles/bench_e4_rand_sharing.dir/bench_e4_rand_sharing.cpp.o.d"
+  "bench_e4_rand_sharing"
+  "bench_e4_rand_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_rand_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

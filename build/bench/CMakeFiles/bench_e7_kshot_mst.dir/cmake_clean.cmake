@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_kshot_mst.dir/bench_e7_kshot_mst.cpp.o"
+  "CMakeFiles/bench_e7_kshot_mst.dir/bench_e7_kshot_mst.cpp.o.d"
+  "bench_e7_kshot_mst"
+  "bench_e7_kshot_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_kshot_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_distinct_elements.dir/bench_e8_distinct_elements.cpp.o"
+  "CMakeFiles/bench_e8_distinct_elements.dir/bench_e8_distinct_elements.cpp.o.d"
+  "bench_e8_distinct_elements"
+  "bench_e8_distinct_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_distinct_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

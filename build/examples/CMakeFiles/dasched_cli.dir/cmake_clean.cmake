@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_cli.dir/dasched_cli.cpp.o"
+  "CMakeFiles/dasched_cli.dir/dasched_cli.cpp.o.d"
+  "dasched_cli"
+  "dasched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

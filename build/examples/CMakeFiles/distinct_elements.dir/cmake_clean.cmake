@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_elements.dir/distinct_elements.cpp.o"
+  "CMakeFiles/distinct_elements.dir/distinct_elements.cpp.o.d"
+  "distinct_elements"
+  "distinct_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kshot_mst.dir/kshot_mst.cpp.o"
+  "CMakeFiles/kshot_mst.dir/kshot_mst.cpp.o.d"
+  "kshot_mst"
+  "kshot_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kshot_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

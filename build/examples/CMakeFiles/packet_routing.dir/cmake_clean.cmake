@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_routing.dir/packet_routing.cpp.o"
+  "CMakeFiles/packet_routing.dir/packet_routing.cpp.o.d"
+  "packet_routing"
+  "packet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

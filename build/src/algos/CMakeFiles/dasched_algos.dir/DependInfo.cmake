@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/aggregate.cpp" "src/algos/CMakeFiles/dasched_algos.dir/aggregate.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/aggregate.cpp.o.d"
+  "/root/repo/src/algos/bfs.cpp" "src/algos/CMakeFiles/dasched_algos.dir/bfs.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/bfs.cpp.o.d"
+  "/root/repo/src/algos/broadcast.cpp" "src/algos/CMakeFiles/dasched_algos.dir/broadcast.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/broadcast.cpp.o.d"
+  "/root/repo/src/algos/distinct_elements.cpp" "src/algos/CMakeFiles/dasched_algos.dir/distinct_elements.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/distinct_elements.cpp.o.d"
+  "/root/repo/src/algos/gossip.cpp" "src/algos/CMakeFiles/dasched_algos.dir/gossip.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/gossip.cpp.o.d"
+  "/root/repo/src/algos/mis.cpp" "src/algos/CMakeFiles/dasched_algos.dir/mis.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/mis.cpp.o.d"
+  "/root/repo/src/algos/mst.cpp" "src/algos/CMakeFiles/dasched_algos.dir/mst.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/mst.cpp.o.d"
+  "/root/repo/src/algos/path_routing.cpp" "src/algos/CMakeFiles/dasched_algos.dir/path_routing.cpp.o" "gcc" "src/algos/CMakeFiles/dasched_algos.dir/path_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/dasched_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dasched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/dasched_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

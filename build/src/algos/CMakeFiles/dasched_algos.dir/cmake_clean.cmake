@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_algos.dir/aggregate.cpp.o"
+  "CMakeFiles/dasched_algos.dir/aggregate.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/bfs.cpp.o"
+  "CMakeFiles/dasched_algos.dir/bfs.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/broadcast.cpp.o"
+  "CMakeFiles/dasched_algos.dir/broadcast.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/distinct_elements.cpp.o"
+  "CMakeFiles/dasched_algos.dir/distinct_elements.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/gossip.cpp.o"
+  "CMakeFiles/dasched_algos.dir/gossip.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/mis.cpp.o"
+  "CMakeFiles/dasched_algos.dir/mis.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/mst.cpp.o"
+  "CMakeFiles/dasched_algos.dir/mst.cpp.o.d"
+  "CMakeFiles/dasched_algos.dir/path_routing.cpp.o"
+  "CMakeFiles/dasched_algos.dir/path_routing.cpp.o.d"
+  "libdasched_algos.a"
+  "libdasched_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_congest.dir/executor.cpp.o"
+  "CMakeFiles/dasched_congest.dir/executor.cpp.o.d"
+  "CMakeFiles/dasched_congest.dir/pattern.cpp.o"
+  "CMakeFiles/dasched_congest.dir/pattern.cpp.o.d"
+  "CMakeFiles/dasched_congest.dir/simulator.cpp.o"
+  "CMakeFiles/dasched_congest.dir/simulator.cpp.o.d"
+  "libdasched_congest.a"
+  "libdasched_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

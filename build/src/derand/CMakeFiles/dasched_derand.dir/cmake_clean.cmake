@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_derand.dir/bellagio.cpp.o"
+  "CMakeFiles/dasched_derand.dir/bellagio.cpp.o.d"
+  "CMakeFiles/dasched_derand.dir/newman.cpp.o"
+  "CMakeFiles/dasched_derand.dir/newman.cpp.o.d"
+  "libdasched_derand.a"
+  "libdasched_derand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_derand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/dasched_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dasched_graph.dir/generators.cpp.o"
+  "CMakeFiles/dasched_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dasched_graph.dir/graph.cpp.o"
+  "CMakeFiles/dasched_graph.dir/graph.cpp.o.d"
+  "libdasched_graph.a"
+  "libdasched_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

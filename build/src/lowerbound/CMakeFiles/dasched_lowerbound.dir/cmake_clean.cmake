@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_lowerbound.dir/hard_instance.cpp.o"
+  "CMakeFiles/dasched_lowerbound.dir/hard_instance.cpp.o.d"
+  "libdasched_lowerbound.a"
+  "libdasched_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rand/distributions.cpp" "src/rand/CMakeFiles/dasched_rand.dir/distributions.cpp.o" "gcc" "src/rand/CMakeFiles/dasched_rand.dir/distributions.cpp.o.d"
+  "/root/repo/src/rand/kwise.cpp" "src/rand/CMakeFiles/dasched_rand.dir/kwise.cpp.o" "gcc" "src/rand/CMakeFiles/dasched_rand.dir/kwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_rand.dir/distributions.cpp.o"
+  "CMakeFiles/dasched_rand.dir/distributions.cpp.o.d"
+  "CMakeFiles/dasched_rand.dir/kwise.cpp.o"
+  "CMakeFiles/dasched_rand.dir/kwise.cpp.o.d"
+  "libdasched_rand.a"
+  "libdasched_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dasched_rand.
+# This may be replaced when dependencies are built.

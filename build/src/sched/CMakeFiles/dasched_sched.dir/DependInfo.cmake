@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baseline.cpp" "src/sched/CMakeFiles/dasched_sched.dir/baseline.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/baseline.cpp.o.d"
+  "/root/repo/src/sched/clustering.cpp" "src/sched/CMakeFiles/dasched_sched.dir/clustering.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/clustering.cpp.o.d"
+  "/root/repo/src/sched/delay_schedule.cpp" "src/sched/CMakeFiles/dasched_sched.dir/delay_schedule.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/delay_schedule.cpp.o.d"
+  "/root/repo/src/sched/doubling.cpp" "src/sched/CMakeFiles/dasched_sched.dir/doubling.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/doubling.cpp.o.d"
+  "/root/repo/src/sched/global_sharing.cpp" "src/sched/CMakeFiles/dasched_sched.dir/global_sharing.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/global_sharing.cpp.o.d"
+  "/root/repo/src/sched/moser_tardos.cpp" "src/sched/CMakeFiles/dasched_sched.dir/moser_tardos.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/moser_tardos.cpp.o.d"
+  "/root/repo/src/sched/private_scheduler.cpp" "src/sched/CMakeFiles/dasched_sched.dir/private_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/private_scheduler.cpp.o.d"
+  "/root/repo/src/sched/problem.cpp" "src/sched/CMakeFiles/dasched_sched.dir/problem.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/problem.cpp.o.d"
+  "/root/repo/src/sched/rand_sharing.cpp" "src/sched/CMakeFiles/dasched_sched.dir/rand_sharing.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/rand_sharing.cpp.o.d"
+  "/root/repo/src/sched/shared_scheduler.cpp" "src/sched/CMakeFiles/dasched_sched.dir/shared_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/shared_scheduler.cpp.o.d"
+  "/root/repo/src/sched/workloads.cpp" "src/sched/CMakeFiles/dasched_sched.dir/workloads.cpp.o" "gcc" "src/sched/CMakeFiles/dasched_sched.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/dasched_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/dasched_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dasched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/dasched_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_sched.dir/baseline.cpp.o"
+  "CMakeFiles/dasched_sched.dir/baseline.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/clustering.cpp.o"
+  "CMakeFiles/dasched_sched.dir/clustering.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/delay_schedule.cpp.o"
+  "CMakeFiles/dasched_sched.dir/delay_schedule.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/doubling.cpp.o"
+  "CMakeFiles/dasched_sched.dir/doubling.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/global_sharing.cpp.o"
+  "CMakeFiles/dasched_sched.dir/global_sharing.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/moser_tardos.cpp.o"
+  "CMakeFiles/dasched_sched.dir/moser_tardos.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/private_scheduler.cpp.o"
+  "CMakeFiles/dasched_sched.dir/private_scheduler.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/problem.cpp.o"
+  "CMakeFiles/dasched_sched.dir/problem.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/rand_sharing.cpp.o"
+  "CMakeFiles/dasched_sched.dir/rand_sharing.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/shared_scheduler.cpp.o"
+  "CMakeFiles/dasched_sched.dir/shared_scheduler.cpp.o.d"
+  "CMakeFiles/dasched_sched.dir/workloads.cpp.o"
+  "CMakeFiles/dasched_sched.dir/workloads.cpp.o.d"
+  "libdasched_sched.a"
+  "libdasched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_util.dir/math.cpp.o"
+  "CMakeFiles/dasched_util.dir/math.cpp.o.d"
+  "CMakeFiles/dasched_util.dir/stats.cpp.o"
+  "CMakeFiles/dasched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dasched_util.dir/table.cpp.o"
+  "CMakeFiles/dasched_util.dir/table.cpp.o.d"
+  "libdasched_util.a"
+  "libdasched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

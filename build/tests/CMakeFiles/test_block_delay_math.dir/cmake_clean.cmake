@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_delay_math.dir/test_block_delay_math.cpp.o"
+  "CMakeFiles/test_block_delay_math.dir/test_block_delay_math.cpp.o.d"
+  "test_block_delay_math"
+  "test_block_delay_math.pdb"
+  "test_block_delay_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_delay_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derand.dir/test_derand.cpp.o"
+  "CMakeFiles/test_derand.dir/test_derand.cpp.o.d"
+  "test_derand"
+  "test_derand.pdb"
+  "test_derand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

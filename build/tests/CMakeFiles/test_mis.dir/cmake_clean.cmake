@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis.dir/test_mis.cpp.o"
+  "CMakeFiles/test_mis.dir/test_mis.cpp.o.d"
+  "test_mis"
+  "test_mis.pdb"
+  "test_mis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moser_tardos.dir/test_moser_tardos.cpp.o"
+  "CMakeFiles/test_moser_tardos.dir/test_moser_tardos.cpp.o.d"
+  "test_moser_tardos"
+  "test_moser_tardos.pdb"
+  "test_moser_tardos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moser_tardos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

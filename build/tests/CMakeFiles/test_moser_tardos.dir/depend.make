@@ -1,0 +1,2 @@
+# Empty dependencies file for test_moser_tardos.
+# This may be replaced when dependencies are built.

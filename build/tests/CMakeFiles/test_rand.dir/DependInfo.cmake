@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rand.cpp" "tests/CMakeFiles/test_rand.dir/test_rand.cpp.o" "gcc" "tests/CMakeFiles/test_rand.dir/test_rand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/derand/CMakeFiles/dasched_derand.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/dasched_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dasched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/dasched_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/congest/CMakeFiles/dasched_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dasched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rand/CMakeFiles/dasched_rand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

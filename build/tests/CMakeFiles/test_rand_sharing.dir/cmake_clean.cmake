@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rand_sharing.dir/test_rand_sharing.cpp.o"
+  "CMakeFiles/test_rand_sharing.dir/test_rand_sharing.cpp.o.d"
+  "test_rand_sharing"
+  "test_rand_sharing.pdb"
+  "test_rand_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rand_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

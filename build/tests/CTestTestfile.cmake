@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_rand[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_algos[1]_include.cmake")
+include("/root/repo/build/tests/test_problem[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_clustering[1]_include.cmake")
+include("/root/repo/build/tests/test_rand_sharing[1]_include.cmake")
+include("/root/repo/build/tests/test_private_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound[1]_include.cmake")
+include("/root/repo/build/tests/test_mst[1]_include.cmake")
+include("/root/repo/build/tests/test_derand[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_executor_contracts[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_mis[1]_include.cmake")
+include("/root/repo/build/tests/test_block_delay_math[1]_include.cmake")
+include("/root/repo/build/tests/test_moser_tardos[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
