@@ -70,7 +70,7 @@ void print_tables() {
                      local.precomputation_rounds < global.precomputation_rounds ? "yes"
                                                                                 : "no"});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 
   {
@@ -97,7 +97,7 @@ void print_tables() {
                                     out.final.fixed.physical_rounds,
                                 2)});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 }
 

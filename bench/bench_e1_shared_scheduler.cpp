@@ -30,6 +30,7 @@ void run_row(Table& table, const Graph& g, std::size_t k, std::uint32_t radius,
   // One full verified execution...
   SharedSchedulerConfig cfg;
   cfg.shared_seed = seed;
+  cfg.telemetry = bench::telemetry();
   const auto out = SharedRandomnessScheduler(cfg).run(*problem);
   const bool ok = problem->verify(out.exec).ok();
 
@@ -65,7 +66,7 @@ void print_tables() {
       const auto g = make_gnp_connected(n, 6.0 / n, rng);
       run_row(table, g, 16, 4, 1000 + n);
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
   {
     Table table("E1.b -- scaling k (gnp n = 300, radius 4)");
@@ -76,7 +77,7 @@ void print_tables() {
     for (const std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
       run_row(table, g, k, 4, 2000 + k);
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
   {
     Table table("E1.c -- graph families (k = 16, radius 4)");
@@ -87,7 +88,7 @@ void print_tables() {
     run_row(table, make_grid(16, 16, true), 16, 4, 32);
     run_row(table, make_binary_tree(255), 16, 4, 33);
     run_row(table, make_random_regular(256, 4, rng), 16, 4, 34);
-    table.print(std::cout);
+    bench::emit(table);
   }
 }
 

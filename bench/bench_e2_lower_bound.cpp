@@ -61,7 +61,7 @@ void print_tables() {
                      Table::fmt(shared.schedule_rounds), Table::fmt(best / cd, 2),
                      Table::fmt(ln / std::max(1.0, std::log2(ln)), 2)});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 
   {
@@ -97,7 +97,7 @@ void print_tables() {
                      Table::fmt(std::uint64_t{overflowing}),
                      Table::fmt(std::uint64_t{max_load})});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 
   {
@@ -143,7 +143,7 @@ void print_tables() {
                      mt.converged ? "converged" : "FAILED",
                      Table::fmt(mt.resample_iterations)});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 }
 

@@ -61,7 +61,7 @@ void print_tables() {
                      Table::fmt(cov.mean(), 3), Table::fmt(std::uint64_t{min_cov}),
                      Table::fmt(std::uint64_t{max_dist})});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 
   {
@@ -87,7 +87,7 @@ void print_tables() {
       table.add_row({Table::fmt(rf, 1), Table::fmt(std::uint64_t{clustering.hop_cap}),
                      Table::fmt(cov.mean(), 3), Table::fmt(min_cov, 3)});
     }
-    table.print(std::cout);
+    bench::emit(table);
   }
 }
 

@@ -45,7 +45,7 @@ void print_tables() {
                    Table::fmt(static_cast<double>(naive) / seeds.rounds, 2),
                    seeds.all_complete() ? "yes" : "NO"});
   }
-  table.print(std::cout);
+  bench::emit(table);
 
   Table t2("E4.b -- rounds scale with s (grid 12x12, one layer family)");
   t2.set_header({"s (words)", "per-layer rounds", "per-layer - H"});
@@ -65,7 +65,7 @@ void print_tables() {
     t2.add_row({Table::fmt(std::uint64_t{s}), Table::fmt(per_layer),
                 Table::fmt(per_layer - clustering.hop_cap)});
   }
-  t2.print(std::cout);
+  bench::emit(t2);
 }
 
 void bm_rand_sharing(benchmark::State& state) {

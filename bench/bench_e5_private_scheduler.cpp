@@ -31,12 +31,14 @@ void print_tables() {
     auto shared_problem = make_mixed_workload(g, 12, 3, n);
     SharedSchedulerConfig scfg;
     scfg.shared_seed = n;
+    scfg.telemetry = bench::telemetry();
     const auto shared = SharedRandomnessScheduler(scfg).run(*shared_problem);
     DASCHED_CHECK(shared_problem->verify(shared.exec).ok());
 
     auto private_problem = make_mixed_workload(g, 12, 3, n);
     PrivateSchedulerConfig pcfg;
     pcfg.seed = n;
+    pcfg.telemetry = bench::telemetry();
     const auto priv = PrivateRandomnessScheduler(pcfg).run(*private_problem);
     const auto verdict = private_problem->verify(priv.exec);
 
@@ -50,7 +52,7 @@ void print_tables() {
          Table::fmt(std::uint64_t{priv.min_coverage}),
          (verdict.ok() && priv.uncovered_nodes == 0) ? "yes" : "NO"});
   }
-  table.print(std::cout);
+  bench::emit(table);
 
   Table t2("E5.b -- schedule length ratio private/shared across seeds (n=200)");
   t2.set_header({"seed", "shared len", "private len", "ratio", "violations"});
@@ -75,7 +77,7 @@ void print_tables() {
                            2),
                 Table::fmt(priv.exec.causality_violations)});
   }
-  t2.print(std::cout);
+  bench::emit(t2);
 }
 
 void bm_private_scheduler(benchmark::State& state) {

@@ -75,7 +75,7 @@ void print_tables() {
                    Table::fmt(std::uint64_t{loads.size()}),
                    Table::fmt(std::uint64_t{max_load}), Table::fmt(rounds), "n/a"});
   }
-  table.print(std::cout);
+  bench::emit(table);
 
   Table t2("E6.b -- regime comparison across seeds (schedule rounds)");
   t2.set_header({"seed", "block+dedup", "uniform(matched)", "uniform[C]"});
@@ -96,7 +96,7 @@ void print_tables() {
     t2.add_row({Table::fmt(seed), Table::fmt(lens[0]), Table::fmt(lens[1]),
                 Table::fmt(lens[2])});
   }
-  t2.print(std::cout);
+  bench::emit(t2);
 }
 
 void bm_delay_computation(benchmark::State& state) {

@@ -96,7 +96,7 @@ void print_tables() {
                    Table::fmt(std::sqrt(static_cast<double>(k) * n), 0),
                    ok_all ? "yes" : "NO"});
   }
-  table.print(std::cout);
+  bench::emit(table);
 
   Table t2("E7.b -- single-shot tradeoff: congestion & dilation vs the knob");
   t2.set_header({"target F", "fragments", "C", "D", "C*D"});
@@ -111,7 +111,7 @@ void print_tables() {
                 Table::fmt(std::uint64_t{problem->congestion()} *
                            problem->dilation())});
   }
-  t2.print(std::cout);
+  bench::emit(t2);
 }
 
 void bm_mst_solo(benchmark::State& state) {

@@ -72,7 +72,7 @@ void print_tables() {
                    Table::fmt(accuracy(wrapped.outputs), 1),
                    Table::fmt(wrapped.uncovered_nodes)});
   }
-  table.print(std::cout);
+  bench::emit(table);
 
   Table t2("E8.b -- accuracy vs iteration count (n = 150, global randomness)");
   t2.set_header({"iterations", "alg rounds", "% within rho^2"});
@@ -98,7 +98,7 @@ void print_tables() {
     t2.add_row({Table::fmt(std::uint64_t{iters}), Table::fmt(std::uint64_t{algo.rounds()}),
                 Table::fmt(100.0 * within / g.num_nodes(), 1)});
   }
-  t2.print(std::cout);
+  bench::emit(t2);
 
   print_mis_negative_control();
 }
@@ -133,7 +133,7 @@ void print_mis_negative_control() {
     table.add_row({Table::fmt(std::uint64_t{n}), Table::fmt(std::uint64_t{cfg.num_layers}),
                    Table::fmt(indep), Table::fmt(maximal)});
   }
-  table.print(std::cout);
+  bench::emit(table);
   std::cout << "Non-zero conflicts = the paper's point: the wrapper needs the\n"
                "Bellagio (canonical output) property, which MIS lacks.\n\n";
 }

@@ -58,7 +58,7 @@ void print_tables() {
                    Table::fmt(mt.schedule_rounds),
                    Table::fmt(mt.schedule_rounds / cd, 2), ok ? "yes" : "NO"});
   }
-  table.print(std::cout);
+  bench::emit(table);
 
   Table t2("E9.b -- distribution of random-delay lengths (torus 12x12, 50 draws)");
   t2.set_header({"packets", "C+D", "len p10", "len p50", "len p90"});
@@ -81,7 +81,7 @@ void print_tables() {
                 Table::fmt(lengths.quantile(0.1), 0), Table::fmt(lengths.quantile(0.5), 0),
                 Table::fmt(lengths.quantile(0.9), 0)});
   }
-  t2.print(std::cout);
+  bench::emit(t2);
 }
 
 void bm_routing_greedy(benchmark::State& state) {

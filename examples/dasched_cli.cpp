@@ -2,6 +2,7 @@
 //
 //   dasched_cli [--graph FAMILY] [--n N] [--k K] [--radius R]
 //               [--workload KIND] [--scheduler NAME] [--seed S]
+//               [--report OUT.json] [--trace OUT.trace.json]
 //
 //   FAMILY:    gnp | grid | torus | path | cycle | tree | regular   (default gnp)
 //   KIND:      mixed | broadcast | bfs | routing                    (default mixed)
@@ -9,6 +10,13 @@
 //
 // Prints the instance's congestion/dilation, then one row per scheduler with
 // the realized schedule length, pre-computation rounds, and verification.
+//
+// --report writes a structured JSON run report (instance metadata, the
+// schedulers table, and a telemetry snapshot of counters/histograms/spans);
+// --trace writes Chrome trace_event JSON of the scheduler pipeline stages and
+// per-big-round executor spans, viewable in chrome://tracing or Perfetto.
+// See docs/OBSERVABILITY.md for both schemas. Either flag enables telemetry;
+// without them the schedulers run with a null sink (zero overhead).
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -24,6 +32,9 @@
 #include "sched/private_scheduler.hpp"
 #include "sched/shared_scheduler.hpp"
 #include "sched/workloads.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -38,6 +49,8 @@ struct Options {
   std::string workload = "mixed";
   std::string scheduler = "all";
   std::uint64_t seed = 1;
+  std::string report_path;  // --report: structured JSON run report
+  std::string trace_path;   // --trace: Chrome trace_event JSON
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -45,7 +58,7 @@ struct Options {
                "usage: %s [--graph gnp|grid|torus|path|cycle|tree|regular] [--n N]\n"
                "          [--k K] [--radius R] [--workload mixed|broadcast|bfs|routing]\n"
                "          [--scheduler all|sequential|greedy|shared|private|global|doubling]\n"
-               "          [--seed S]\n",
+               "          [--seed S] [--report OUT.json] [--trace OUT.trace.json]\n",
                argv0);
   std::exit(2);
 }
@@ -72,6 +85,10 @@ Options parse(int argc, char** argv) {
       opt.scheduler = v6;
     } else if (const char* v7 = need("--seed")) {
       opt.seed = std::strtoull(v7, nullptr, 10);
+    } else if (const char* v8 = need("--report")) {
+      opt.report_path = v8;
+    } else if (const char* v9 = need("--trace")) {
+      opt.trace_path = v9;
     } else {
       usage(argv[0]);
     }
@@ -117,6 +134,13 @@ int main(int argc, char** argv) {
               opt.graph.c_str(), g.num_nodes(), g.num_edges(), opt.workload.c_str(),
               opt.k, opt.radius, static_cast<unsigned long long>(opt.seed));
 
+  // Telemetry is enabled by --report/--trace; a null sink otherwise.
+  const bool telemetry_on = !opt.report_path.empty() || !opt.trace_path.empty();
+  MetricsRegistry metrics;
+  ChromeTraceSink trace("dasched_cli");
+  TeeSink tee({&metrics, &trace});
+  TelemetrySink* const sink = telemetry_on ? &tee : nullptr;
+
   auto probe = make_problem(g, opt);
   probe->run_solo();
   std::printf("congestion=%u dilation=%u trivial-LB=%u\n\n", probe->congestion(),
@@ -144,6 +168,7 @@ int main(int argc, char** argv) {
     auto p = make_problem(g, opt);
     SharedSchedulerConfig cfg;
     cfg.shared_seed = opt.seed;
+    cfg.telemetry = sink;
     const auto out = SharedRandomnessScheduler(cfg).run(*p);
     table.add_row({"shared (Thm 1.1)", Table::fmt(out.schedule_rounds), "0",
                    p->verify(out.exec).ok() ? "yes" : "NO"});
@@ -152,6 +177,7 @@ int main(int argc, char** argv) {
     auto p = make_problem(g, opt);
     PrivateSchedulerConfig cfg;
     cfg.seed = opt.seed;
+    cfg.telemetry = sink;
     const auto out = PrivateRandomnessScheduler(cfg).run(*p);
     table.add_row({"private (Thm 4.1)", Table::fmt(out.schedule_rounds),
                    Table::fmt(out.precomputation_rounds),
@@ -174,5 +200,38 @@ int main(int argc, char** argv) {
                    p->verify(out.final.exec).ok() ? "yes" : "NO"});
   }
   table.print(std::cout);
-  return 0;
+
+  int rc = 0;
+  if (!opt.report_path.empty()) {
+    RunReport report;
+    report.set_meta("tool", "dasched_cli");
+    report.set_meta("graph", opt.graph);
+    report.set_meta("n", std::uint64_t{g.num_nodes()});
+    report.set_meta("m", std::uint64_t{g.num_edges()});
+    report.set_meta("workload", opt.workload);
+    report.set_meta("k", std::uint64_t{opt.k});
+    report.set_meta("radius", std::uint64_t{opt.radius});
+    report.set_meta("seed", std::uint64_t{opt.seed});
+    report.set_meta("congestion", std::uint64_t{probe->congestion()});
+    report.set_meta("dilation", std::uint64_t{probe->dilation()});
+    report.set_meta("trivial_lower_bound", std::uint64_t{probe->trivial_lower_bound()});
+    report.add_table(table);
+    report.attach_metrics(metrics);
+    if (report.write_file(opt.report_path)) {
+      std::printf("\nreport written to %s\n", opt.report_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", opt.report_path.c_str());
+      rc = 1;
+    }
+  }
+  if (!opt.trace_path.empty()) {
+    if (trace.write_file(opt.trace_path)) {
+      std::printf("trace written to %s (%zu events)\n", opt.trace_path.c_str(),
+                  trace.num_events());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", opt.trace_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }

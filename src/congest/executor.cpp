@@ -180,9 +180,26 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     buf.resize(write);
   };
 
+  TelemetrySink* const telemetry = cfg_.telemetry;
+  TimedSpan run_span(telemetry, "executor", "run");
+  if (telemetry != nullptr) {
+    telemetry->add_counter("executor.events_executed", total_events);
+    telemetry->add_counter("executor.big_rounds", result.num_big_rounds);
+    run_span.arg("algorithms", static_cast<double>(k));
+    run_span.arg("big_rounds", static_cast<double>(result.num_big_rounds));
+    run_span.arg("events", static_cast<double>(total_events));
+  }
+
   // --- Main loop over big-rounds. ---
   for (std::uint32_t t = 0; t <= max_big_round; ++t) {
     staged.clear();
+    // Telemetry is batched per big-round: the per-event/per-message path
+    // below only bumps these locals, so a null sink costs nothing and a live
+    // sink costs O(1) virtual calls per big-round (plus one histogram sample
+    // per touched edge).
+    const std::uint64_t violations_before = result.causality_violations;
+    std::uint64_t delivered_this_round = 0;
+    TimedSpan round_span(telemetry, "executor", "big_round");
 
     for (const auto& ev : bucket[t]) {
       auto& prog_progress = progress[ev.alg][ev.node];
@@ -191,6 +208,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       prog_progress = ev.vround;
 
       take_tag(pending[ev.alg][ev.node], ev.vround - 1, inbox_scratch);
+      delivered_this_round += inbox_scratch.size();
 
       SendSink sink{&graph_, cfg_.max_payload_words, ev.node, {}};
       VirtualContext ctx;
@@ -240,6 +258,9 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         DASCHED_CHECK_MSG(edge_count[d] <= 1,
                           "CONGEST bandwidth violated: >1 message per edge per round");
       }
+      if (telemetry != nullptr) {
+        telemetry->record_value("executor.edge_load", edge_count[d]);
+      }
       edge_count[d] = 0;
     }
     touched_edges.clear();
@@ -247,9 +268,22 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       result.max_load_per_big_round[t] = max_load;
     }
     result.max_edge_load = std::max(result.max_edge_load, max_load);
+
+    if (telemetry != nullptr) {
+      telemetry->add_counter("executor.messages_sent", staged.size());
+      telemetry->add_counter("executor.messages_delivered", delivered_this_round);
+      telemetry->add_counter("executor.causality_violations",
+                             result.causality_violations - violations_before);
+      telemetry->record_value("executor.max_load_per_big_round", max_load);
+      round_span.arg("t", t);
+      round_span.arg("events", static_cast<double>(bucket[t].size()));
+      round_span.arg("messages", static_cast<double>(staged.size()));
+      round_span.arg("max_load", max_load);
+    }
   }
 
   // --- Finish and collect outputs. ---
+  std::uint64_t delivered_at_finish = 0;
   for (std::size_t a = 0; a < k; ++a) {
     const std::uint32_t rounds = algorithms[a]->rounds();
     result.outputs[a].resize(n);
@@ -257,6 +291,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     for (NodeId v = 0; v < n; ++v) {
       if (progress[a][v] != rounds) continue;
       take_tag(pending[a][v], rounds, inbox_scratch);
+      delivered_at_finish += inbox_scratch.size();
       VirtualContext ctx;
       ctx.self_ = v;
       ctx.num_nodes_ = n;
@@ -270,6 +305,12 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       result.completed[a][v] = 1;
       result.outputs[a][v] = programs[a][v]->output();
     }
+  }
+
+  if (telemetry != nullptr) {
+    telemetry->add_counter("executor.messages_delivered", delivered_at_finish);
+    telemetry->set_gauge("executor.max_edge_load", result.max_edge_load);
+    run_span.arg("total_messages", static_cast<double>(result.total_messages));
   }
 
   return result;

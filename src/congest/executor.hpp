@@ -37,6 +37,7 @@
 #include "congest/pattern.hpp"
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dasched {
 
@@ -51,6 +52,18 @@ struct ExecConfig {
   /// Enforce the raw CONGEST bound of one message per directed edge per
   /// big-round -- used by the solo Simulator where big-round == round.
   bool enforce_unit_capacity = false;
+  /// Optional telemetry sink (borrowed; must outlive the Executor). Null --
+  /// the default -- disables all instrumentation: the message hot path then
+  /// performs no telemetry calls and no telemetry allocations. When set, the
+  /// executor emits (see docs/OBSERVABILITY.md for the full name list):
+  ///   spans      executor/run, executor/big_round (one per big-round, with
+  ///              events/messages/max_load args)
+  ///   counters   executor.events_executed, executor.messages_sent,
+  ///              executor.messages_delivered, executor.causality_violations,
+  ///              executor.big_rounds
+  ///   histograms executor.edge_load (per touched directed edge per
+  ///              big-round), executor.max_load_per_big_round
+  TelemetrySink* telemetry = nullptr;
 };
 
 /// Big-round (0-based) at which node `v` executes virtual round `r` (1-based)

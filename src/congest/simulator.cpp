@@ -9,7 +9,14 @@ SoloRunResult Simulator::run(const DistributedAlgorithm& algorithm) const {
   cfg.max_payload_words = max_payload_words_;
   cfg.record_patterns = true;
   cfg.enforce_unit_capacity = true;
+  cfg.telemetry = telemetry_;
   Executor executor(graph_, cfg);
+
+  TimedSpan span(telemetry_, "simulator", "run");
+  if (telemetry_ != nullptr) {
+    telemetry_->add_counter("simulator.runs", 1);
+    span.arg("rounds", algorithm.rounds());
+  }
 
   const DistributedAlgorithm* algos[] = {&algorithm};
   auto exec = executor.run(algos, [](std::size_t, NodeId, std::uint32_t r) {

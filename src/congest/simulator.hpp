@@ -27,14 +27,18 @@ struct SoloRunResult {
 
 class Simulator {
  public:
-  explicit Simulator(const Graph& g, std::uint32_t max_payload_words = kDefaultMaxPayloadWords)
-      : graph_(g), max_payload_words_(max_payload_words) {}
+  /// `telemetry` (optional, borrowed) instruments each solo run: a
+  /// simulator/run span plus the executor's own metrics (see executor.hpp).
+  explicit Simulator(const Graph& g, std::uint32_t max_payload_words = kDefaultMaxPayloadWords,
+                     TelemetrySink* telemetry = nullptr)
+      : graph_(g), max_payload_words_(max_payload_words), telemetry_(telemetry) {}
 
   SoloRunResult run(const DistributedAlgorithm& algorithm) const;
 
  private:
   const Graph& graph_;
   std::uint32_t max_payload_words_;
+  TelemetrySink* telemetry_;
 };
 
 }  // namespace dasched

@@ -45,6 +45,21 @@ TruncatedExponentialRadius make_radius_dist(const ClusteringConfig& cfg, NodeId 
   return {scale, cfg.truncation_lns * lns};
 }
 
+/// Layer-construction telemetry shared by the distributed and central builds:
+/// cluster count and per-node contained-radius distribution.
+void record_layer_metrics(TelemetrySink* telemetry, const ClusterLayer& layer) {
+  if (telemetry == nullptr) return;
+  std::vector<std::uint64_t> centers(layer.label);
+  std::sort(centers.begin(), centers.end());
+  const auto distinct =
+      std::unique(centers.begin(), centers.end()) - centers.begin();
+  telemetry->record_value("clustering.clusters_per_layer",
+                          static_cast<double>(distinct));
+  for (const auto h : layer.h_prime) {
+    telemetry->record_value("clustering.h_prime", h);
+  }
+}
+
 }  // namespace
 
 void ClusteringBuilder::draw_node_params(Rng& rng, const TruncatedExponentialRadius& dist,
@@ -235,11 +250,20 @@ Clustering ClusteringBuilder::build_distributed(const Graph& g) const {
   result.radius_scale = dist.scale();
   result.radius_truncation_logs =
       cfg_.truncation_lns * std::max(1, log_ceil_ln(g.num_nodes()));
+  TimedSpan build_span(cfg_.telemetry, "clustering", "build_distributed");
+  build_span.arg("layers", layers);
+  build_span.arg("hop_cap", h);
   Simulator sim(g);
   for (std::uint32_t l = 0; l < layers; ++l) {
+    TimedSpan layer_span(cfg_.telemetry, "clustering", "layer");
+    layer_span.arg("layer", l);
     ClusterLayerAlgorithm algo(layer_seed(cfg_.seed, l), dist, h, cfg_.dilation);
     const auto run = sim.run(algo);
     result.precomputation_rounds += algo.rounds();
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->add_counter("clustering.rounds", algo.rounds());
+      layer_span.arg("rounds", algo.rounds());
+    }
 
     ClusterLayer layer;
     layer.center.resize(g.num_nodes());
@@ -251,6 +275,7 @@ Clustering ClusteringBuilder::build_distributed(const Graph& g) const {
       layer.center[v] = static_cast<NodeId>(label & 0xffffffffu);
       layer.h_prime[v] = static_cast<std::uint32_t>(run.outputs[v][1]);
     }
+    record_layer_metrics(cfg_.telemetry, layer);
     result.layers.push_back(std::move(layer));
   }
   return result;
@@ -270,6 +295,8 @@ Clustering ClusteringBuilder::build_central(const Graph& g) const {
       cfg_.truncation_lns * std::max(1, log_ceil_ln(g.num_nodes()));
   result.precomputation_rounds = 0;
 
+  TimedSpan build_span(cfg_.telemetry, "clustering", "build_central");
+  build_span.arg("layers", layers);
   for (std::uint32_t l = 0; l < layers; ++l) {
     // Reproduce the distributed draws: program rng is
     // Rng(seed_combine(layer_seed, node)), drawing (radius, label) first.
@@ -328,6 +355,7 @@ Clustering ClusteringBuilder::build_central(const Graph& g) const {
     for (NodeId v = 0; v < n; ++v) {
       layer.h_prime[v] = std::min(dist_to_boundary[v], cfg_.dilation);
     }
+    record_layer_metrics(cfg_.telemetry, layer);
     result.layers.push_back(std::move(layer));
   }
   return result;

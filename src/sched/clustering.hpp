@@ -30,6 +30,7 @@
 #include "congest/program.hpp"
 #include "graph/graph.hpp"
 #include "rand/distributions.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dasched {
 
@@ -47,6 +48,10 @@ struct ClusteringConfig {
   /// Number of layers; 0 derives layer_factor * ln(n).
   std::uint32_t num_layers = 0;
   double layer_factor = 2.0;
+  /// Optional telemetry sink (borrowed): clustering/build span, per-layer
+  /// clustering/layer spans, clustering.rounds counter, and
+  /// clustering.clusters_per_layer / clustering.h_prime histograms.
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct ClusterLayer {

@@ -81,6 +81,8 @@ PrivateRandomnessScheduler::compute_delays(const ScheduleProblem& problem,
 }
 
 PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem) const {
+  TelemetrySink* const telemetry = cfg_.telemetry;
+  TimedSpan run_span(telemetry, "sched.private", "run");
   problem.run_solo();
   const auto& g = problem.graph();
   const NodeId n = g.num_nodes();
@@ -93,9 +95,12 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
   ClusteringConfig ccfg = cfg_.clustering;
   ccfg.seed = cfg_.seed;
   ccfg.dilation = dilation;
+  ccfg.telemetry = telemetry;
   const ClusteringBuilder builder(ccfg);
+  TimedSpan cluster_span(telemetry, "sched.private", "clustering");
   const Clustering clustering =
       cfg_.central_clustering ? builder.build_central(g) : builder.build_distributed(g);
+  cluster_span.finish();
   out.precomputation_rounds += clustering.precomputation_rounds;
   out.num_layers = static_cast<std::uint32_t>(clustering.num_layers());
   out.hop_cap = clustering.hop_cap;
@@ -103,9 +108,12 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
   // --- 2. Randomness sharing (Lemma 4.3). ---
   RandSharingConfig scfg = cfg_.sharing;
   scfg.seed = cfg_.seed;
+  scfg.telemetry = telemetry;
   const RandomnessSharing sharing(scfg);
+  TimedSpan sharing_span(telemetry, "sched.private", "rand_sharing");
   const SharedSeeds seeds = cfg_.central_sharing ? sharing.run_central(g, clustering)
                                                  : sharing.run_distributed(g, clustering);
+  sharing_span.finish();
   out.precomputation_rounds += seeds.rounds;
   for (const auto& layer : seeds.layers) {
     for (const auto c : layer.complete) {
@@ -122,17 +130,27 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
       total += cov;
       min_cov = std::min(min_cov, cov);
       if (cov == 0) ++out.uncovered_nodes;
+      if (telemetry != nullptr) {
+        telemetry->record_value("sched.private.coverage", cov);
+      }
     }
     out.mean_coverage = total / n;
     out.min_coverage = min_cov;
   }
 
   // --- 3. Delays from cluster-local shared randomness. ---
+  TimedSpan delays_span(telemetry, "sched.private", "compute_delays");
   const auto delay = compute_delays(problem, clustering, seeds, &out.delay_support);
+  delays_span.finish();
 
   // --- 4. Earliest-eligible-layer schedule (Lemma 4.4 de-dup fixed point).---
   // Precompute exec times: exec(a, v, r) = min over layers with
   // h'_l(v) >= r-1 of delay(l, v, a) + (r - 1).
+  TimedSpan schedule_span(telemetry, "sched.private", "build_schedule");
+  // Lemma 4.4 accounting: each scheduled (alg, node, round) slot had `prefix`
+  // eligible layer copies; first-copy-wins suppresses all but one.
+  std::uint64_t scheduled_slots = 0;
+  std::uint64_t dedup_suppressed = 0;
   const auto layers = static_cast<std::uint32_t>(clustering.num_layers());
   std::vector<std::vector<std::vector<std::uint32_t>>> exec_time(k);
   for (std::size_t a = 0; a < k; ++a) {
@@ -162,23 +180,54 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
         }
         if (min_delay != kNeverScheduled) {
           slots[r - 1] = min_delay + (r - 1);
+          ++scheduled_slots;
+          dedup_suppressed += prefix - 1;
         }
         // (Recomputed per r: prefix only grows as r decreases.)
       }
     }
   }
+  schedule_span.finish();
 
-  Executor executor(g, {});
+  ExecConfig ecfg;
+  ecfg.telemetry = telemetry;
+  Executor executor(g, ecfg);
   const auto algos = problem.algorithm_ptrs();
-  out.exec = executor.run(algos, [&exec_time](std::size_t a, NodeId v, std::uint32_t r) {
-    return exec_time[a][v][r - 1];
-  });
+  {
+    TimedSpan exec_span(telemetry, "sched.private", "execute");
+    out.exec = executor.run(algos, [&exec_time](std::size_t a, NodeId v, std::uint32_t r) {
+      return exec_time[a][v][r - 1];
+    });
+  }
 
   out.phase_len = cfg_.phase_len > 0
                       ? cfg_.phase_len
                       : std::max<std::uint32_t>(1, ceil_log2(std::max<NodeId>(2, n)));
   out.schedule_rounds = out.exec.adaptive_physical_rounds();
   out.fixed = out.exec.fixed_phase(out.phase_len);
+
+  if (telemetry != nullptr) {
+    telemetry->set_gauge("sched.private.num_layers", out.num_layers);
+    telemetry->set_gauge("sched.private.hop_cap", out.hop_cap);
+    telemetry->set_gauge("sched.private.delay_support", out.delay_support);
+    telemetry->set_gauge("sched.private.phase_len", out.phase_len);
+    telemetry->set_gauge("sched.private.mean_coverage", out.mean_coverage);
+    telemetry->set_gauge("sched.private.schedule_rounds",
+                         static_cast<double>(out.schedule_rounds));
+    telemetry->add_counter("sched.private.precomputation_rounds",
+                           out.precomputation_rounds);
+    telemetry->add_counter("sched.private.uncovered_nodes", out.uncovered_nodes);
+    telemetry->add_counter("sched.private.incomplete_seed_nodes",
+                           out.incomplete_seed_nodes);
+    telemetry->add_counter("sched.private.scheduled_slots", scheduled_slots);
+    telemetry->add_counter("sched.private.dedup_suppressed", dedup_suppressed);
+    telemetry->add_counter("sched.private.fixed_phase_overflows",
+                           out.fixed.overflowing_phases);
+    run_span.arg("schedule_rounds", static_cast<double>(out.schedule_rounds));
+    run_span.arg("precomputation_rounds",
+                 static_cast<double>(out.precomputation_rounds));
+    run_span.arg("num_layers", out.num_layers);
+  }
   return out;
 }
 

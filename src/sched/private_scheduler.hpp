@@ -60,6 +60,12 @@ struct PrivateSchedulerConfig {
   /// Same for the clustering construction.
   bool central_clustering = false;
   std::uint32_t congestion_estimate = 0;  // 0 = exact
+  /// Optional telemetry sink (borrowed). Propagated into the clustering and
+  /// randomness-sharing stages and the executor; the scheduler itself wraps
+  /// every pipeline stage (clustering, sharing, compute_delays, build
+  /// schedule, execute) in sched.private/* spans and emits coverage/dedup
+  /// metrics (see docs/OBSERVABILITY.md).
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct PrivateScheduleOutcome {

@@ -168,23 +168,37 @@ SharedSeeds RandomnessSharing::run_distributed(const Graph& g,
   SharedSeeds result;
   result.words_per_seed = s;
 
+  TimedSpan run_span(cfg_.telemetry, "rand_sharing", "run_distributed");
+  run_span.arg("layers", static_cast<double>(clustering.num_layers()));
+  run_span.arg("words_per_seed", s);
   Simulator sim(g);
   for (std::uint32_t l = 0; l < clustering.num_layers(); ++l) {
+    TimedSpan layer_span(cfg_.telemetry, "rand_sharing", "layer");
+    layer_span.arg("layer", l);
     SharingLayerAlgorithm algo(ClusteringBuilder::layer_seed(cfg_.seed, l),
                                clustering.radius_distribution_for_replay(),
                                clustering.hop_cap, s, cfg_.slack_rounds);
     const auto run = sim.run(algo);
     result.rounds += algo.rounds();
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->add_counter("rand_sharing.rounds", algo.rounds());
+      layer_span.arg("rounds", algo.rounds());
+    }
 
     SharedSeeds::Layer layer;
     layer.words.resize(g.num_nodes());
     layer.center_label.resize(g.num_nodes());
     layer.complete.resize(g.num_nodes());
+    std::uint64_t incomplete = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       const auto& out = run.outputs[v];
       layer.center_label[v] = out[0];
       layer.complete[v] = (out[1] == s) ? 1 : 0;
+      if (layer.complete[v] == 0) ++incomplete;
       layer.words[v].assign(out.begin() + 2, out.end());
+    }
+    if (cfg_.telemetry != nullptr && incomplete > 0) {
+      cfg_.telemetry->add_counter("rand_sharing.incomplete_nodes", incomplete);
     }
     result.layers.push_back(std::move(layer));
   }

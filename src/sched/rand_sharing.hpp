@@ -33,6 +33,9 @@ struct RandSharingConfig {
   std::uint32_t words_per_seed = 0;
   /// Extra rounds beyond the H + s pipelining bound (safety slack).
   std::uint32_t slack_rounds = 4;
+  /// Optional telemetry sink (borrowed): rand_sharing/run + per-layer spans,
+  /// rand_sharing.rounds and rand_sharing.incomplete_nodes counters.
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct SharedSeeds {

@@ -30,6 +30,7 @@ std::vector<std::uint32_t> SharedRandomnessScheduler::draw_delays(
 }
 
 SharedScheduleOutcome SharedRandomnessScheduler::run(ScheduleProblem& problem) const {
+  TimedSpan run_span(cfg_.telemetry, "sched.shared", "run");
   problem.run_solo();
   const NodeId n = problem.graph().num_nodes();
   const std::uint32_t log_n = std::max(1, ceil_log2(std::max<NodeId>(2, n)));
@@ -47,15 +48,39 @@ SharedScheduleOutcome SharedRandomnessScheduler::run(ScheduleProblem& problem) c
 
   out.delays = draw_delays(cfg_.shared_seed, problem.size(), out.delay_range, independence);
 
-  Executor executor(problem.graph(), {});
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->set_gauge("sched.shared.phase_len", out.phase_len);
+    cfg_.telemetry->set_gauge("sched.shared.delay_range", out.delay_range);
+    cfg_.telemetry->set_gauge("sched.shared.congestion", congestion);
+    cfg_.telemetry->set_gauge("sched.shared.independence", independence);
+    for (const auto d : out.delays) {
+      cfg_.telemetry->record_value("sched.shared.delay", d);
+    }
+  }
+
+  ExecConfig ecfg;
+  ecfg.telemetry = cfg_.telemetry;
+  Executor executor(problem.graph(), ecfg);
   const auto algos = problem.algorithm_ptrs();
   const auto& delays = out.delays;
-  out.exec = executor.run(algos, [&delays](std::size_t a, NodeId, std::uint32_t r) {
-    return delays[a] + (r - 1);
-  });
+  {
+    TimedSpan exec_span(cfg_.telemetry, "sched.shared", "execute");
+    out.exec = executor.run(algos, [&delays](std::size_t a, NodeId, std::uint32_t r) {
+      return delays[a] + (r - 1);
+    });
+  }
 
   out.schedule_rounds = out.exec.adaptive_physical_rounds();
   out.fixed = out.exec.fixed_phase(out.phase_len);
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->add_counter("sched.shared.fixed_phase_overflows",
+                                out.fixed.overflowing_phases);
+    cfg_.telemetry->set_gauge("sched.shared.schedule_rounds",
+                              static_cast<double>(out.schedule_rounds));
+    run_span.arg("schedule_rounds", static_cast<double>(out.schedule_rounds));
+    run_span.arg("phase_len", out.phase_len);
+    run_span.arg("delay_range", out.delay_range);
+  }
   return out;
 }
 

@@ -34,6 +34,10 @@ struct SharedSchedulerConfig {
   /// exact value). Lets tests exercise the paper's "constant-factor
   /// approximation" assumption.
   std::uint32_t congestion_estimate = 0;
+  /// Optional telemetry sink (borrowed). Emits sched.shared/run +
+  /// sched.shared/execute spans, phase/delay gauges, a sched.shared.delay
+  /// histogram, the fixed-phase overflow counter, and the executor's metrics.
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct SharedScheduleOutcome {

@@ -1,0 +1,113 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace dasched {
+
+ChromeTraceSink::ChromeTraceSink(std::string process_name)
+    : process_name_(std::move(process_name)) {}
+
+void ChromeTraceSink::add_counter(std::string_view name, std::uint64_t delta) {
+  auto it = std::find_if(counter_totals_.begin(), counter_totals_.end(),
+                         [&](const auto& kv) { return kv.first == name; });
+  if (it == counter_totals_.end()) {
+    counter_totals_.emplace_back(std::string(name), 0);
+    it = counter_totals_.end() - 1;
+  }
+  it->second += delta;
+  Event ev;
+  ev.phase = 'C';
+  ev.name = it->first;
+  ev.ts_us = now_us();
+  ev.dur_us = 0;
+  ev.args.emplace_back("value", static_cast<double>(it->second));
+  events_.push_back(std::move(ev));
+}
+
+void ChromeTraceSink::set_gauge(std::string_view name, double value) {
+  Event ev;
+  ev.phase = 'C';
+  ev.name = std::string(name);
+  ev.ts_us = now_us();
+  ev.dur_us = 0;
+  ev.args.emplace_back("value", value);
+  events_.push_back(std::move(ev));
+}
+
+void ChromeTraceSink::record_value(std::string_view /*name*/, double /*value*/) {
+  // Distributions are MetricsRegistry's job (see header comment).
+}
+
+void ChromeTraceSink::record_span(std::string_view category, std::string_view name,
+                                  std::uint64_t start_us, std::uint64_t dur_us,
+                                  std::span<const SpanArg> args) {
+  Event ev;
+  ev.phase = 'X';
+  ev.category = std::string(category);
+  ev.name = std::string(name);
+  ev.ts_us = start_us;
+  // chrome://tracing drops 0-duration complete events; clamp up to 1us.
+  ev.dur_us = std::max<std::uint64_t>(1, dur_us);
+  ev.args.reserve(args.size());
+  for (const auto& a : args) ev.args.emplace_back(std::string(a.key), a.value);
+  events_.push_back(std::move(ev));
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  std::uint64_t base = ~std::uint64_t{0};
+  for (const auto& ev : events_) base = std::min(base, ev.ts_us);
+  if (events_.empty()) base = 0;
+
+  json::Writer w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process-name metadata event, the idiomatic first entry.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", std::uint64_t{0});
+  w.kv("tid", std::uint64_t{0});
+  w.key("args");
+  w.begin_object();
+  w.kv("name", process_name_);
+  w.end_object();
+  w.end_object();
+
+  for (const auto& ev : events_) {
+    w.begin_object();
+    w.kv("name", ev.name);
+    if (!ev.category.empty()) w.kv("cat", ev.category);
+    w.key("ph");
+    w.value(std::string_view(&ev.phase, 1));
+    w.kv("ts", ev.ts_us - base);
+    if (ev.phase == 'X') w.kv("dur", ev.dur_us);
+    w.kv("pid", std::uint64_t{0});
+    w.kv("tid", std::uint64_t{0});
+    if (!ev.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& [k, v] : ev.args) w.kv(k, v);
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool ChromeTraceSink::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace dasched

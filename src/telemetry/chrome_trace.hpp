@@ -1,0 +1,58 @@
+// TelemetrySink emitting Chrome trace_event JSON ("JSON Array Format" wrapped
+// in a {"traceEvents": [...]} object), loadable in chrome://tracing and
+// https://ui.perfetto.dev. Spans become complete ("X") duration events;
+// counters and gauges become counter ("C") tracks sampled at emission time.
+// Histogram samples (record_value) are intentionally dropped here -- full
+// distributions belong in MetricsRegistry; a trace of one event per edge-load
+// sample would dwarf the spans it annotates. Pair both sinks with TeeSink to
+// get spans + distributions from one run.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace dasched {
+
+class ChromeTraceSink final : public TelemetrySink {
+ public:
+  /// `process_name` labels the trace's single process track.
+  explicit ChromeTraceSink(std::string process_name = "dasched");
+
+  void add_counter(std::string_view name, std::uint64_t delta) override;
+  void set_gauge(std::string_view name, double value) override;
+  void record_value(std::string_view name, double value) override;
+  void record_span(std::string_view category, std::string_view name,
+                   std::uint64_t start_us, std::uint64_t dur_us,
+                   std::span<const SpanArg> args) override;
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Writes the full trace document. Timestamps are rebased to the first
+  /// recorded event so traces start near t=0.
+  void write(std::ostream& os) const;
+  /// Returns false (and leaves no partial file guarantees) if the file
+  /// cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' (complete span) or 'C' (counter sample)
+    std::string category;
+    std::string name;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;                               // spans only
+    std::vector<std::pair<std::string, double>> args;   // numeric args
+  };
+
+  std::string process_name_;
+  std::vector<Event> events_;
+  /// Running totals backing the "C" tracks (counter events carry the
+  /// cumulative value, which is what trace viewers plot).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_totals_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,138 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace dasched {
+
+namespace {
+
+// Heterogeneous find-or-insert: std::map<..., std::less<>> supports
+// string_view lookup but insertion still needs a std::string key.
+template <typename Map, typename Make>
+auto& slot(Map& map, std::string_view name, Make make) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  slot(counters_, name, [] { return std::uint64_t{0}; }) += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  slot(gauges_, name, [] { return 0.0; }) = value;
+}
+
+void MetricsRegistry::record_value(std::string_view name, double value) {
+  slot(histograms_, name, [] { return SampleSet{}; }).add(value);
+}
+
+void MetricsRegistry::record_span(std::string_view category, std::string_view name,
+                                  std::uint64_t /*start_us*/, std::uint64_t dur_us,
+                                  std::span<const SpanArg> /*args*/) {
+  std::string key;
+  key.reserve(category.size() + 1 + name.size());
+  key.append(category).append("/").append(name);
+  auto& stats = spans_[key];
+  ++stats.count;
+  stats.total_us += dur_us;
+  stats.max_us = std::max(stats.max_us, dur_us);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const SampleSet* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const MetricsRegistry::SpanStats* MetricsRegistry::span(std::string_view key) const {
+  const auto it = spans_.find(key);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+}
+
+void MetricsRegistry::write_json(std::ostream& os, bool include_samples) const {
+  json::Writer w(os);
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) w.kv(name, v);
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) w.kv(name, v);
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", static_cast<std::uint64_t>(h.count()));
+    if (!h.empty()) {
+      w.kv("min", h.min());
+      w.kv("max", h.max());
+      w.kv("mean", h.mean());
+      w.kv("p50", h.quantile(0.5));
+      w.kv("p90", h.quantile(0.9));
+      w.kv("p99", h.quantile(0.99));
+      if (include_samples) {
+        w.key("samples");
+        w.begin_array();
+        for (const double x : h.sorted()) w.value(x);
+        w.end_array();
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("spans");
+  w.begin_object();
+  for (const auto& [key, s] : spans_) {
+    w.key(key);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("total_us", s.total_us);
+    w.kv("mean_us", s.count == 0 ? 0.0
+                                 : static_cast<double>(s.total_us) /
+                                       static_cast<double>(s.count));
+    w.kv("max_us", s.max_us);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json(bool include_samples) const {
+  std::ostringstream oss;
+  write_json(oss, include_samples);
+  return oss.str();
+}
+
+}  // namespace dasched

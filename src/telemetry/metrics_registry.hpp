@@ -1,0 +1,79 @@
+// In-memory aggregating TelemetrySink: counters sum, gauges overwrite,
+// histograms accumulate into SampleSets, spans accumulate duration stats.
+// Queryable by name and snapshottable to JSON, so tests and run reports can
+// assert on exactly what the instrumented code emitted.
+//
+// JSON snapshot schema (docs/OBSERVABILITY.md):
+//   {
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "count": n, "min": ..., "max": ...,
+//                                 "mean": ..., "p50": ..., "p90": ...,
+//                                 "p99": ..., "samples": [...]? }, ... },
+//     "spans":      { "<category>/<name>": { "count": n, "total_us": ...,
+//                                            "mean_us": ..., "max_us": ... } }
+//   }
+// `samples` (the full ascending sample list) is included only when the
+// snapshot is taken with include_samples = true.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.hpp"
+#include "util/stats.hpp"
+
+namespace dasched {
+
+class MetricsRegistry final : public TelemetrySink {
+ public:
+  struct SpanStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+
+  // --- TelemetrySink ---
+  void add_counter(std::string_view name, std::uint64_t delta) override;
+  void set_gauge(std::string_view name, double value) override;
+  void record_value(std::string_view name, double value) override;
+  void record_span(std::string_view category, std::string_view name,
+                   std::uint64_t start_us, std::uint64_t dur_us,
+                   std::span<const SpanArg> args) override;
+
+  // --- Queries (absent names return zero / nullptr). ---
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  const SampleSet* histogram(std::string_view name) const;
+  /// Key is "<category>/<name>".
+  const SpanStats* span(std::string_view key) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, SampleSet, std::less<>>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, SpanStats, std::less<>>& spans() const { return spans_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() && spans_.empty();
+  }
+  void clear();
+
+  /// Writes the snapshot documented above (deterministic key order).
+  void write_json(std::ostream& os, bool include_samples = false) const;
+  std::string to_json(bool include_samples = false) const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, SampleSet, std::less<>> histograms_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+}  // namespace dasched

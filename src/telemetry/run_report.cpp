@@ -1,0 +1,100 @@
+#include "telemetry/run_report.hpp"
+
+#include <fstream>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics_registry.hpp"
+
+namespace dasched {
+
+void RunReport::set_meta(std::string_view key, std::string_view value) {
+  for (auto& e : meta_) {
+    if (e.key == key) {
+      e.is_number = false;
+      e.string_value = std::string(value);
+      return;
+    }
+  }
+  MetaEntry e;
+  e.key = std::string(key);
+  e.string_value = std::string(value);
+  meta_.push_back(std::move(e));
+}
+
+void RunReport::set_meta(std::string_view key, double value) {
+  for (auto& e : meta_) {
+    if (e.key == key) {
+      e.is_number = true;
+      e.number_value = value;
+      return;
+    }
+  }
+  MetaEntry e;
+  e.key = std::string(key);
+  e.is_number = true;
+  e.number_value = value;
+  meta_.push_back(std::move(e));
+}
+
+void RunReport::add_table(const Table& table) { tables_.push_back(table); }
+
+void RunReport::attach_metrics(const MetricsRegistry& metrics, bool include_samples) {
+  telemetry_json_ = metrics.to_json(include_samples);
+}
+
+void RunReport::write(std::ostream& os) const {
+  json::Writer w(os);
+  w.begin_object();
+  w.kv("schema", "dasched.run_report.v1");
+
+  w.key("meta");
+  w.begin_object();
+  for (const auto& e : meta_) {
+    if (e.is_number) {
+      w.kv(e.key, e.number_value);
+    } else {
+      w.kv(e.key, std::string_view(e.string_value));
+    }
+  }
+  w.end_object();
+
+  w.key("tables");
+  w.begin_array();
+  for (const auto& t : tables_) {
+    w.begin_object();
+    w.kv("title", std::string_view(t.title()));
+    w.key("columns");
+    w.begin_array();
+    for (const auto& c : t.header()) w.value(std::string_view(c));
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : t.data()) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(std::string_view(cell));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  if (!telemetry_json_.empty()) {
+    w.key("telemetry");
+    // Splice the pre-rendered registry snapshot verbatim: it is itself a
+    // complete JSON object produced by MetricsRegistry::write_json.
+    os << telemetry_json_;
+  }
+
+  w.end_object();
+  os << '\n';
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace dasched

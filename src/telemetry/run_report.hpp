@@ -1,0 +1,68 @@
+// Structured JSON run reports: the machine-readable counterpart of the ASCII
+// tables the benches and the CLI print. A report collects
+//   * metadata       -- instance parameters (graph family, n, k, seed, ...),
+//   * tables         -- every experiment Table, serialized cell-for-cell,
+//   * telemetry      -- a MetricsRegistry snapshot (optional),
+// and writes one JSON document:
+//   {
+//     "schema": "dasched.run_report.v1",
+//     "meta":   { "<key>": <string|number>, ... },
+//     "tables": [ { "title": ..., "columns": [...], "rows": [[...], ...] } ],
+//     "telemetry": { ...MetricsRegistry snapshot... }?   // if attached
+//   }
+// This is what `--report out.json` produces from every bench binary and from
+// examples/dasched_cli, making BENCH_*.json artifacts reproducible instead of
+// scraped from stdout. See docs/OBSERVABILITY.md for the full schema.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dasched {
+
+class MetricsRegistry;
+
+class RunReport {
+ public:
+  void set_meta(std::string_view key, std::string_view value);
+  void set_meta(std::string_view key, const char* value) {
+    set_meta(key, std::string_view(value));
+  }
+  void set_meta(std::string_view key, double value);
+  void set_meta(std::string_view key, std::uint64_t value) {
+    set_meta(key, static_cast<double>(value));
+  }
+
+  /// Copies the table (title, columns, rows) into the report.
+  void add_table(const Table& table);
+
+  /// Embeds a snapshot of `metrics` taken now (include_samples controls
+  /// whether full histogram sample lists are written).
+  void attach_metrics(const MetricsRegistry& metrics, bool include_samples = true);
+
+  bool empty() const {
+    return meta_.empty() && tables_.empty() && telemetry_json_.empty();
+  }
+  std::size_t num_tables() const { return tables_.size(); }
+
+  void write(std::ostream& os) const;
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct MetaEntry {
+    std::string key;
+    bool is_number = false;
+    std::string string_value;
+    double number_value = 0.0;
+  };
+  std::vector<MetaEntry> meta_;
+  std::vector<Table> tables_;
+  std::string telemetry_json_;  // pre-rendered snapshot, "" if none
+};
+
+}  // namespace dasched

@@ -1,0 +1,41 @@
+#include "telemetry/telemetry.hpp"
+
+#include <chrono>
+
+namespace dasched {
+
+TelemetrySink::~TelemetrySink() = default;
+
+std::uint64_t TelemetrySink::now_us() {
+  const auto d = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void TeeSink::add_counter(std::string_view name, std::uint64_t delta) {
+  for (auto* s : sinks_) {
+    if (s != nullptr) s->add_counter(name, delta);
+  }
+}
+
+void TeeSink::set_gauge(std::string_view name, double value) {
+  for (auto* s : sinks_) {
+    if (s != nullptr) s->set_gauge(name, value);
+  }
+}
+
+void TeeSink::record_value(std::string_view name, double value) {
+  for (auto* s : sinks_) {
+    if (s != nullptr) s->record_value(name, value);
+  }
+}
+
+void TeeSink::record_span(std::string_view category, std::string_view name,
+                          std::uint64_t start_us, std::uint64_t dur_us,
+                          std::span<const SpanArg> args) {
+  for (auto* s : sinks_) {
+    if (s != nullptr) s->record_span(category, name, start_us, dur_us, args);
+  }
+}
+
+}  // namespace dasched

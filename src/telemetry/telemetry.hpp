@@ -1,0 +1,127 @@
+// Telemetry core: the sink interface every instrumented subsystem talks to.
+//
+// Design goals, in order:
+//   1. Zero overhead when disabled. Instrumentation sites hold a
+//      `TelemetrySink*` that is null by default; every emission is guarded by
+//      a single pointer test and hot loops batch locally so the disabled path
+//      performs no virtual calls and no allocations.
+//   2. One interface, many backends. `MetricsRegistry` (src/telemetry/
+//      metrics_registry.hpp) aggregates in memory and snapshots to JSON;
+//      `ChromeTraceSink` (src/telemetry/chrome_trace.hpp) emits Chrome
+//      `trace_event` JSON viewable in chrome://tracing or Perfetto; `TeeSink`
+//      fans out to both. See docs/OBSERVABILITY.md.
+//   3. Names are stable identifiers. Dotted lowercase paths
+//      ("executor.messages_sent"); spans additionally carry a category used
+//      as the Chrome trace `cat` field.
+//
+// Thread-safety: sinks are NOT synchronized. The whole library is
+// single-threaded per execution; share one sink across threads only with
+// external locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dasched {
+
+/// Numeric key/value attached to a span (rendered as Chrome trace `args`).
+struct SpanArg {
+  std::string_view key;
+  double value;
+};
+
+/// Abstract telemetry consumer. All methods take `string_view` names so call
+/// sites can pass string literals without allocating.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink();
+
+  /// Monotonically increasing sum (events, messages, rounds, ...).
+  virtual void add_counter(std::string_view name, std::uint64_t delta) = 0;
+
+  /// Last-write-wins scalar (configuration values, derived parameters).
+  virtual void set_gauge(std::string_view name, double value) = 0;
+
+  /// One sample of a distribution (edge loads, delays, radii, ...).
+  virtual void record_value(std::string_view name, double value) = 0;
+
+  /// A completed wall-clock span. `start_us`/`dur_us` come from `now_us()`.
+  virtual void record_span(std::string_view category, std::string_view name,
+                           std::uint64_t start_us, std::uint64_t dur_us,
+                           std::span<const SpanArg> args) = 0;
+
+  /// Monotonic clock in microseconds (steady_clock; origin arbitrary but
+  /// consistent within a process, so spans from different sinks line up).
+  static std::uint64_t now_us();
+};
+
+/// RAII wall-clock span. No-op (not even a clock read) when `sink` is null.
+///
+///   {
+///     TimedSpan span(cfg.telemetry, "executor", "run");
+///     span.arg("big_rounds", t);   // optional, numeric only
+///     ... work ...
+///   }  // recorded here
+class TimedSpan {
+ public:
+  TimedSpan(TelemetrySink* sink, std::string_view category, std::string_view name)
+      : sink_(sink), category_(category), name_(name),
+        start_us_(sink ? TelemetrySink::now_us() : 0) {}
+
+  TimedSpan(const TimedSpan&) = delete;
+  TimedSpan& operator=(const TimedSpan&) = delete;
+
+  /// Attach a numeric argument (capped at kMaxArgs; extras are dropped).
+  void arg(std::string_view key, double value) {
+    if (sink_ != nullptr && num_args_ < kMaxArgs) args_[num_args_++] = {key, value};
+  }
+
+  /// Record now instead of at destruction (idempotent).
+  void finish() {
+    if (sink_ == nullptr) return;
+    const std::uint64_t end = TelemetrySink::now_us();
+    sink_->record_span(category_, name_, start_us_,
+                       end >= start_us_ ? end - start_us_ : 0,
+                       {args_, num_args_});
+    sink_ = nullptr;
+  }
+
+  ~TimedSpan() { finish(); }
+
+ private:
+  static constexpr std::size_t kMaxArgs = 8;
+  TelemetrySink* sink_;
+  std::string_view category_;
+  std::string_view name_;
+  std::uint64_t start_us_;
+  SpanArg args_[kMaxArgs];
+  std::size_t num_args_ = 0;
+};
+
+/// Fans every emission out to several sinks (e.g. registry + trace). Borrowed
+/// pointers; null entries are skipped.
+class TeeSink final : public TelemetrySink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<TelemetrySink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(TelemetrySink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  bool empty() const { return sinks_.empty(); }
+
+  void add_counter(std::string_view name, std::uint64_t delta) override;
+  void set_gauge(std::string_view name, double value) override;
+  void record_value(std::string_view name, double value) override;
+  void record_span(std::string_view category, std::string_view name,
+                   std::uint64_t start_us, std::uint64_t dur_us,
+                   std::span<const SpanArg> args) override;
+
+ private:
+  std::vector<TelemetrySink*> sinks_;
+};
+
+}  // namespace dasched

@@ -32,9 +32,17 @@ class StatAccumulator {
 
 /// Stores all samples; supports exact quantiles. Used where distributions
 /// (not just moments) matter, e.g. per-big-round edge loads.
+///
+/// NOT thread-safe, including the const accessors: `min()`, `max()`,
+/// `quantile()`, and `sorted()` lazily sort the stored samples through
+/// `mutable` members, so two concurrent readers race on the sort. Confine
+/// each SampleSet to one thread or guard it externally.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = samples_.size() <= 1;
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t count() const { return samples_.size(); }
@@ -44,6 +52,15 @@ class SampleSet {
   double max() const;
   /// q in [0, 1]; q = 0.5 is the median. Uses nearest-rank on sorted data.
   double quantile(double q) const;
+
+  /// The samples in ascending order (sorts on first use, like quantile()).
+  /// The reference stays valid until the next `add`. This is the accessor
+  /// exports should use: it makes the lazy mutation explicit at the call
+  /// site and lets callers assert on ordering.
+  const std::vector<double>& sorted() const {
+    ensure_sorted();
+    return samples_;
+  }
 
  private:
   mutable std::vector<double> samples_;

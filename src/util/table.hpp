@@ -27,6 +27,8 @@ class Table {
 
   const std::string& title() const { return title_; }
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
 
   // Formatting helpers.
   static std::string fmt(std::int64_t v);

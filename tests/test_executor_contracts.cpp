@@ -169,5 +169,50 @@ TEST(ExecutorContracts, SendDuringFinishDies) {
   EXPECT_DEATH((void)sim.run(algo), "on_finish");
 }
 
+// --- ExecutionResult schedule-length measures, edge cases. ---
+
+TEST(ExecutionResultMeasures, EmptyExecution) {
+  ExecutionResult r;
+  EXPECT_EQ(r.adaptive_physical_rounds(), 0u);
+  const auto fixed = r.fixed_phase(4);
+  EXPECT_EQ(fixed.physical_rounds, 0u);
+  EXPECT_EQ(fixed.overflowing_phases, 0u);
+}
+
+TEST(ExecutionResultMeasures, EmptyBigRoundsCountAsOneAdaptiveRound) {
+  ExecutionResult r;
+  r.num_big_rounds = 3;
+  r.max_load_per_big_round = {0, 0, 0};
+  // An empty big-round still takes one physical round (the paper's phases
+  // advance in lockstep even when no edge is busy).
+  EXPECT_EQ(r.adaptive_physical_rounds(), 3u);
+}
+
+TEST(ExecutionResultMeasures, SingleOverflowingPhase) {
+  ExecutionResult r;
+  r.num_big_rounds = 1;
+  r.max_load_per_big_round = {9};
+  r.max_edge_load = 9;
+  EXPECT_EQ(r.adaptive_physical_rounds(), 9u);
+  const auto fixed = r.fixed_phase(4);
+  EXPECT_EQ(fixed.physical_rounds, 4u);  // phases are fixed-length...
+  EXPECT_EQ(fixed.overflowing_phases, 1u);  // ...and the overflow is counted
+}
+
+TEST(ExecutionResultMeasures, PhaseLenOne) {
+  ExecutionResult r;
+  r.num_big_rounds = 4;
+  r.max_load_per_big_round = {1, 0, 2, 1};
+  const auto fixed = r.fixed_phase(1);
+  EXPECT_EQ(fixed.physical_rounds, 4u);
+  EXPECT_EQ(fixed.overflowing_phases, 1u);  // only the load-2 phase overflows
+  EXPECT_EQ(r.adaptive_physical_rounds(), 1u + 1u + 2u + 1u);
+}
+
+TEST(ExecutionResultMeasures, PhaseLenZeroDies) {
+  ExecutionResult r;
+  EXPECT_DEATH((void)r.fixed_phase(0), "phase_len");
+}
+
 }  // namespace
 }  // namespace dasched
