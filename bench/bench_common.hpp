@@ -5,7 +5,7 @@
 // the reproduction artifact -- and then runs its google-benchmark timing
 // cases, so `for b in build/bench/*; do $b; done` produces both.
 //
-// Every bench also understands two extra flags (consumed before the
+// Every bench also understands three extra flags (consumed before the
 // google-benchmark flags are parsed):
 //   --report out.json   write a structured RunReport: every emitted table,
 //                       cell-for-cell, plus run metadata. This is how the
@@ -14,6 +14,10 @@
 //                       stdout. See docs/OBSERVABILITY.md.
 //   --trace out.json    write a Chrome trace_event file of any telemetry the
 //                       bench routed through bench::telemetry().
+//   --threads N         executor worker threads for benches that run
+//                       schedules (bench::num_threads(); 0 = serial). Results
+//                       are bit-identical for every value -- this flag only
+//                       changes wall-clock time (docs/PERFORMANCE.md).
 // Tables are routed through bench::emit(table), which both prints the ASCII
 // form and records the table into the report.
 #pragma once
@@ -22,6 +26,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -49,6 +54,7 @@ struct ReportState {
   TeeSink tee;
   std::string report_path;
   std::string trace_path;
+  std::uint32_t num_threads = 0;
 
   ReportState() {
     tee.add(&metrics);
@@ -72,6 +78,10 @@ inline TelemetrySink* telemetry() {
   return (s.report_path.empty() && s.trace_path.empty()) ? nullptr : &s.tee;
 }
 
+/// Executor worker threads requested via --threads (0 = serial). Benches that
+/// execute schedules thread this into their scheduler/executor configs.
+inline std::uint32_t num_threads() { return report_state().num_threads; }
+
 /// Prints the table (the stdout reproduction artifact) and records it into
 /// the --report document.
 inline void emit(const Table& table) {
@@ -79,7 +89,8 @@ inline void emit(const Table& table) {
   report_state().report.add_table(table);
 }
 
-/// Strips --report/--trace from argv; returns false on a malformed flag.
+/// Strips --report/--trace/--threads from argv; returns false on a malformed
+/// flag.
 inline bool consume_report_flags(int* argc, char** argv) {
   auto& s = report_state();
   int write = 1;
@@ -96,6 +107,12 @@ inline bool consume_report_flags(int* argc, char** argv) {
         return false;
       }
       *target = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--threads requires a count argument\n");
+        return false;
+      }
+      s.num_threads = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       argv[write++] = argv[i];
     }

@@ -30,6 +30,7 @@ void run_row(Table& table, const Graph& g, std::size_t k, std::uint32_t radius,
   // One full verified execution...
   SharedSchedulerConfig cfg;
   cfg.shared_seed = seed;
+  cfg.num_threads = bench::num_threads();
   cfg.telemetry = bench::telemetry();
   const auto out = SharedRandomnessScheduler(cfg).run(*problem);
   const bool ok = problem->verify(out.exec).ok();

@@ -31,6 +31,7 @@ void print_tables() {
     auto shared_problem = make_mixed_workload(g, 12, 3, n);
     SharedSchedulerConfig scfg;
     scfg.shared_seed = n;
+    scfg.num_threads = bench::num_threads();
     scfg.telemetry = bench::telemetry();
     const auto shared = SharedRandomnessScheduler(scfg).run(*shared_problem);
     DASCHED_CHECK(shared_problem->verify(shared.exec).ok());
@@ -38,6 +39,7 @@ void print_tables() {
     auto private_problem = make_mixed_workload(g, 12, 3, n);
     PrivateSchedulerConfig pcfg;
     pcfg.seed = n;
+    pcfg.num_threads = bench::num_threads();
     pcfg.telemetry = bench::telemetry();
     const auto priv = PrivateRandomnessScheduler(pcfg).run(*private_problem);
     const auto verdict = private_problem->verify(priv.exec);

@@ -1,7 +1,7 @@
 // dasched_cli: a command-line driver over the library.
 //
 //   dasched_cli [--graph FAMILY] [--n N] [--k K] [--radius R]
-//               [--workload KIND] [--scheduler NAME] [--seed S]
+//               [--workload KIND] [--scheduler NAME] [--seed S] [--threads T]
 //               [--report OUT.json] [--trace OUT.trace.json]
 //
 //   FAMILY:    gnp | grid | torus | path | cycle | tree | regular   (default gnp)
@@ -17,6 +17,10 @@
 // per-big-round executor spans, viewable in chrome://tracing or Perfetto.
 // See docs/OBSERVABILITY.md for both schemas. Either flag enables telemetry;
 // without them the schedulers run with a null sink (zero overhead).
+//
+// --threads T runs the shared/private scheduled executions on T worker
+// threads (0 = serial, the default). Results are bit-identical for every
+// value; see docs/PERFORMANCE.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -49,8 +53,9 @@ struct Options {
   std::string workload = "mixed";
   std::string scheduler = "all";
   std::uint64_t seed = 1;
-  std::string report_path;  // --report: structured JSON run report
-  std::string trace_path;   // --trace: Chrome trace_event JSON
+  std::uint32_t threads = 0;  // executor workers; 0 = serial
+  std::string report_path;    // --report: structured JSON run report
+  std::string trace_path;     // --trace: Chrome trace_event JSON
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -58,7 +63,8 @@ struct Options {
                "usage: %s [--graph gnp|grid|torus|path|cycle|tree|regular] [--n N]\n"
                "          [--k K] [--radius R] [--workload mixed|broadcast|bfs|routing]\n"
                "          [--scheduler all|sequential|greedy|shared|private|global|doubling]\n"
-               "          [--seed S] [--report OUT.json] [--trace OUT.trace.json]\n",
+               "          [--seed S] [--threads T] [--report OUT.json]\n"
+               "          [--trace OUT.trace.json]\n",
                argv0);
   std::exit(2);
 }
@@ -85,6 +91,8 @@ Options parse(int argc, char** argv) {
       opt.scheduler = v6;
     } else if (const char* v7 = need("--seed")) {
       opt.seed = std::strtoull(v7, nullptr, 10);
+    } else if (const char* vt = need("--threads")) {
+      opt.threads = static_cast<std::uint32_t>(std::atoi(vt));
     } else if (const char* v8 = need("--report")) {
       opt.report_path = v8;
     } else if (const char* v9 = need("--trace")) {
@@ -168,6 +176,7 @@ int main(int argc, char** argv) {
     auto p = make_problem(g, opt);
     SharedSchedulerConfig cfg;
     cfg.shared_seed = opt.seed;
+    cfg.num_threads = opt.threads;
     cfg.telemetry = sink;
     const auto out = SharedRandomnessScheduler(cfg).run(*p);
     table.add_row({"shared (Thm 1.1)", Table::fmt(out.schedule_rounds), "0",
@@ -177,6 +186,7 @@ int main(int argc, char** argv) {
     auto p = make_problem(g, opt);
     PrivateSchedulerConfig cfg;
     cfg.seed = opt.seed;
+    cfg.num_threads = opt.threads;
     cfg.telemetry = sink;
     const auto out = PrivateRandomnessScheduler(cfg).run(*p);
     table.add_row({"private (Thm 4.1)", Table::fmt(out.schedule_rounds),

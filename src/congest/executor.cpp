@@ -36,16 +36,10 @@ bool ExecutionResult::all_completed() const {
 
 namespace {
 
-/// A message in flight, tagged with the virtual round it was sent in.
-struct TaggedMessage {
-  std::uint32_t tag;  // sender's virtual round
-  VMessage msg;
-};
-
 /// Staged transmission awaiting end-of-big-round delivery.
 struct StagedMessage {
   std::uint32_t alg;
-  std::uint32_t tag;
+  std::uint32_t tag;  // sender's virtual round
   NodeId to;
   std::uint32_t directed_edge;
   VMessage msg;
@@ -58,24 +52,51 @@ struct ExecEvent {
   std::uint32_t vround;
 };
 
+/// Per-event send collector. One binary search over the (sorted) adjacency
+/// validates the neighbor and yields its adjacency slot; the per-slot bitmap
+/// flags duplicate sends in O(1); the caller resolves the directed edge id
+/// from the slot with a single indexed load -- no find_edge and no linear
+/// duplicate scan anywhere on the send path.
 struct SendSink {
-  const Graph* graph;
+  std::span<const HalfEdge> neighbors;
   std::uint32_t max_payload_words;
-  NodeId from;
-  std::vector<std::pair<NodeId, Payload>> sends;
+  std::uint8_t* slot_used;  // worker scratch sized max_degree, all zero between events
+  std::vector<std::pair<std::uint32_t, Payload>>* sends;  // (slot, payload)
 
   static void send(void* raw, NodeId neighbor, Payload payload) {
     auto* sink = static_cast<SendSink*>(raw);
-    DASCHED_CHECK_MSG(sink->graph->find_edge(sink->from, neighbor) != kInvalidEdge,
+    const auto nbrs = sink->neighbors;
+    const auto it = std::lower_bound(
+        nbrs.begin(), nbrs.end(), neighbor,
+        [](const HalfEdge& h, NodeId x) { return h.neighbor < x; });
+    DASCHED_CHECK_MSG(it != nbrs.end() && it->neighbor == neighbor,
                       "send to non-neighbor");
     DASCHED_CHECK_MSG(payload.size() <= sink->max_payload_words,
                       "message exceeds CONGEST word budget");
-    for (const auto& [to, _] : sink->sends) {
-      DASCHED_CHECK_MSG(to != neighbor, "two messages to one neighbor in one round");
-    }
-    sink->sends.emplace_back(neighbor, std::move(payload));
+    const auto slot = static_cast<std::uint32_t>(it - nbrs.begin());
+    DASCHED_CHECK_MSG(!sink->slot_used[slot],
+                      "two messages to one neighbor in one round");
+    sink->slot_used[slot] = 1;
+    sink->sends->emplace_back(slot, std::move(payload));
   }
 };
+
+/// Per-worker staging plus reusable scratch. Within one big-round every event
+/// touches only its own (alg, node) state, so shards race only if they shared
+/// scratch -- they don't; and because each shard appends to its own `staged`
+/// and shards are contiguous slices of the bucket, concatenating the buffers
+/// in shard order reproduces the serial staging order bit for bit.
+struct WorkerState {
+  std::vector<StagedMessage> staged;
+  std::vector<std::pair<std::uint32_t, Payload>> sends;  // per-event scratch
+  std::vector<std::uint8_t> slot_used;                   // size max_degree
+  std::uint64_t delivered = 0;  // cumulative messages consumed by this worker
+};
+
+/// Minimum events per shard before a big-round is farmed out to the pool:
+/// below this, waking the workers costs more than the bucket. The cutoff is
+/// invisible in results -- serial and parallel execution are bit-identical.
+constexpr std::size_t kMinEventsPerShard = 16;
 
 }  // namespace
 
@@ -83,24 +104,29 @@ Executor::Executor(const Graph& g, ExecConfig cfg) : graph_(g), cfg_(cfg) {}
 
 ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algorithms,
                               const ExecTimeFn& exec_time) {
+  return run(algorithms,
+             ScheduleTable::from_fn(algorithms, graph_.num_nodes(), exec_time));
+}
+
+ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algorithms,
+                              const ScheduleTable& schedule) {
   const std::size_t k = algorithms.size();
   const NodeId n = graph_.num_nodes();
+  DASCHED_CHECK_MSG(schedule.num_algorithms() == k && schedule.num_nodes() == n,
+                    "schedule table does not match the problem dimensions");
 
-  // --- Build and validate the schedule table. ---
-  // time[a][v] holds big-rounds for vrounds 1..T_a at indices 0..T_a-1.
-  std::vector<std::vector<std::vector<std::uint32_t>>> time(k);
+  // --- Validate the schedule and count events. ---
   std::uint32_t max_big_round = 0;
   std::uint64_t total_events = 0;
   for (std::size_t a = 0; a < k; ++a) {
-    const std::uint32_t rounds = algorithms[a]->rounds();
-    time[a].assign(n, {});
+    DASCHED_CHECK_MSG(schedule.rounds(a) == algorithms[a]->rounds(),
+                      "schedule table does not match the algorithm round counts");
     for (NodeId v = 0; v < n; ++v) {
-      auto& slots = time[a][v];
-      slots.resize(rounds, kNeverScheduled);
+      const auto slots = schedule.row(a, v);
       std::uint32_t prev = 0;
       bool ended = false;
-      for (std::uint32_t r = 1; r <= rounds; ++r) {
-        const std::uint32_t t = exec_time(a, v, r);
+      for (std::uint32_t r = 1; r <= slots.size(); ++r) {
+        const std::uint32_t t = slots[r - 1];
         if (t == kNeverScheduled) {
           ended = true;
           continue;
@@ -108,7 +134,6 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         DASCHED_CHECK_MSG(!ended, "schedule has a gap: round scheduled after a skipped one");
         DASCHED_CHECK_MSG(r == 1 || t > prev,
                           "schedule must be strictly increasing per (alg, node)");
-        slots[r - 1] = t;
         prev = t;
         max_big_round = std::max(max_big_round, t);
         ++total_events;
@@ -116,16 +141,32 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     }
   }
 
-  // --- Bucket events by big-round. ---
-  std::vector<std::vector<ExecEvent>> bucket(max_big_round + 1);
-  (void)total_events;
+  // --- Bucket events by big-round: one flat array plus CSR offsets. The
+  // counting sort preserves (alg, node, round) order within each bucket,
+  // which is the canonical serial execution order. ---
+  const std::uint32_t num_big_rounds = total_events == 0 ? 0 : max_big_round + 1;
+  std::vector<std::size_t> bucket_start(num_big_rounds + 1, 0);
   for (std::size_t a = 0; a < k; ++a) {
     for (NodeId v = 0; v < n; ++v) {
-      const auto& slots = time[a][v];
-      for (std::uint32_t r = 1; r <= slots.size(); ++r) {
-        if (slots[r - 1] != kNeverScheduled) {
-          bucket[slots[r - 1]].push_back(
-              {static_cast<std::uint32_t>(a), v, r});
+      for (const auto t : schedule.row(a, v)) {
+        if (t != kNeverScheduled) ++bucket_start[t + 1];
+      }
+    }
+  }
+  for (std::uint32_t t = 1; t <= num_big_rounds; ++t) {
+    bucket_start[t] += bucket_start[t - 1];
+  }
+  std::vector<ExecEvent> events(total_events);
+  {
+    std::vector<std::size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (NodeId v = 0; v < n; ++v) {
+        const auto slots = schedule.row(a, v);
+        for (std::uint32_t r = 1; r <= slots.size(); ++r) {
+          const std::uint32_t t = slots[r - 1];
+          if (t != kNeverScheduled) {
+            events[cursor[t]++] = {static_cast<std::uint32_t>(a), v, r};
+          }
         }
       }
     }
@@ -135,12 +176,17 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   std::vector<std::vector<std::unique_ptr<NodeProgram>>> programs(k);
   std::vector<std::vector<Rng>> rngs(k);
   std::vector<std::vector<std::uint32_t>> progress(k);  // last executed vround
-  std::vector<std::vector<std::vector<TaggedMessage>>> pending(k);
+  // Tag-bucketed inboxes: inbox[a][v * T_a + (tag - 1)] holds the messages
+  // sent to (a, v) in the sender's virtual round `tag`. The receiver consumes
+  // the whole bucket when it executes round tag + 1 (or on_finish for
+  // tag == T_a), so inbox lookup is one indexed load instead of a linear scan
+  // over all pending messages.
+  std::vector<std::vector<std::vector<VMessage>>> inbox(k);
   for (std::size_t a = 0; a < k; ++a) {
     programs[a].reserve(n);
     rngs[a].reserve(n);
     progress[a].assign(n, 0);
-    pending[a].resize(n);
+    inbox[a].resize(std::size_t{n} * algorithms[a]->rounds());
     for (NodeId v = 0; v < n; ++v) {
       programs[a].push_back(algorithms[a]->make_program(v));
       rngs[a].emplace_back(seed_combine(algorithms[a]->base_seed(), v));
@@ -153,102 +199,133 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   if (cfg_.record_patterns) {
     result.patterns.assign(k, CommunicationPattern(graph_.num_directed_edges()));
   }
+  result.num_big_rounds = num_big_rounds;
+  result.max_load_per_big_round.assign(num_big_rounds, 0);
 
   std::vector<std::uint32_t> edge_count(graph_.num_directed_edges(), 0);
   std::vector<std::uint32_t> touched_edges;
-  std::vector<StagedMessage> staged;
-  std::vector<VMessage> inbox_scratch;
-  if (total_events == 0) {
-    result.num_big_rounds = 0;
-  } else {
-    result.num_big_rounds = max_big_round + 1;
-    result.max_load_per_big_round.assign(result.num_big_rounds, 0);
-  }
 
-  auto take_tag = [&](std::vector<TaggedMessage>& buf, std::uint32_t tag,
-                      std::vector<VMessage>& out) {
-    out.clear();
-    std::size_t write = 0;
-    for (std::size_t i = 0; i < buf.size(); ++i) {
-      if (buf[i].tag == tag) {
-        out.push_back(std::move(buf[i].msg));
-      } else {
-        if (write != i) buf[write] = std::move(buf[i]);
-        ++write;
-      }
-    }
-    buf.resize(write);
-  };
+  // --- Worker pool and per-worker staging. ---
+  const std::uint32_t num_workers = std::max<std::uint32_t>(1, cfg_.num_threads);
+  if (num_workers > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_workers);
+  }
+  std::vector<WorkerState> workers(num_workers);
+  for (auto& ws : workers) ws.slot_used.assign(graph_.max_degree(), 0);
+  std::uint64_t rounds_parallel = 0;
+  std::uint64_t rounds_serial = 0;
 
   TelemetrySink* const telemetry = cfg_.telemetry;
   TimedSpan run_span(telemetry, "executor", "run");
   if (telemetry != nullptr) {
     telemetry->add_counter("executor.events_executed", total_events);
-    telemetry->add_counter("executor.big_rounds", result.num_big_rounds);
+    telemetry->add_counter("executor.big_rounds", num_big_rounds);
     run_span.arg("algorithms", static_cast<double>(k));
-    run_span.arg("big_rounds", static_cast<double>(result.num_big_rounds));
+    run_span.arg("big_rounds", static_cast<double>(num_big_rounds));
     run_span.arg("events", static_cast<double>(total_events));
   }
 
+  // The per-event body shared by the serial and parallel paths. Everything it
+  // mutates is either owned by the event's (alg, node) -- programs, rngs,
+  // progress, the consumed inbox bucket -- or by the executing shard's
+  // WorkerState, so shards are data-race free.
+  auto execute_event = [&](const ExecEvent& ev, WorkerState& ws) {
+    auto& prog_progress = progress[ev.alg][ev.node];
+    DASCHED_CHECK_MSG(prog_progress + 1 == ev.vround,
+                      "executor: out-of-order virtual round");
+    prog_progress = ev.vround;
+
+    std::vector<VMessage>* in_bucket = nullptr;
+    std::span<const VMessage> in;
+    if (ev.vround >= 2) {
+      in_bucket = &inbox[ev.alg][std::size_t{ev.node} * schedule.rounds(ev.alg) +
+                                 (ev.vround - 2)];
+      in = *in_bucket;
+    }
+    ws.delivered += in.size();
+
+    const auto nbrs = graph_.neighbors(ev.node);
+    const auto directed = graph_.directed_ids(ev.node);
+    ws.sends.clear();
+    SendSink sink{nbrs, cfg_.max_payload_words, ws.slot_used.data(), &ws.sends};
+    VirtualContext ctx;
+    ctx.self_ = ev.node;
+    ctx.num_nodes_ = n;
+    ctx.vround_ = ev.vround;
+    ctx.inbox_ = in;
+    ctx.neighbors_ = nbrs;
+    ctx.send_fn_ = &SendSink::send;
+    ctx.sink_ = &sink;
+    ctx.rng_ = &rngs[ev.alg][ev.node];
+
+    programs[ev.alg][ev.node]->on_round(ctx);
+
+    for (auto& [slot, payload] : ws.sends) {
+      ws.slot_used[slot] = 0;
+      ws.staged.push_back({ev.alg, ev.vround, nbrs[slot].neighbor, directed[slot],
+                           VMessage{ev.node, std::move(payload)}});
+    }
+    if (in_bucket != nullptr) in_bucket->clear();
+  };
+
   // --- Main loop over big-rounds. ---
-  for (std::uint32_t t = 0; t <= max_big_round; ++t) {
-    staged.clear();
+  std::uint64_t delivered_before = 0;
+  for (std::uint32_t t = 0; t < num_big_rounds; ++t) {
+    const std::size_t begin = bucket_start[t];
+    const std::size_t end = bucket_start[t + 1];
+    const std::size_t bucket_size = end - begin;
     // Telemetry is batched per big-round: the per-event/per-message path
-    // below only bumps these locals, so a null sink costs nothing and a live
-    // sink costs O(1) virtual calls per big-round (plus one histogram sample
-    // per touched edge).
+    // below only bumps locals, so a null sink costs nothing and a live sink
+    // costs O(1) virtual calls per big-round (plus one histogram sample per
+    // touched edge).
     const std::uint64_t violations_before = result.causality_violations;
-    std::uint64_t delivered_this_round = 0;
     TimedSpan round_span(telemetry, "executor", "big_round");
 
-    for (const auto& ev : bucket[t]) {
-      auto& prog_progress = progress[ev.alg][ev.node];
-      DASCHED_CHECK_MSG(prog_progress + 1 == ev.vround,
-                        "executor: out-of-order virtual round");
-      prog_progress = ev.vround;
-
-      take_tag(pending[ev.alg][ev.node], ev.vround - 1, inbox_scratch);
-      delivered_this_round += inbox_scratch.size();
-
-      SendSink sink{&graph_, cfg_.max_payload_words, ev.node, {}};
-      VirtualContext ctx;
-      ctx.self_ = ev.node;
-      ctx.num_nodes_ = n;
-      ctx.vround_ = ev.vround;
-      ctx.inbox_ = inbox_scratch;
-      ctx.neighbors_ = graph_.neighbors(ev.node);
-      ctx.send_fn_ = &SendSink::send;
-      ctx.sink_ = &sink;
-      ctx.rng_ = &rngs[ev.alg][ev.node];
-
-      programs[ev.alg][ev.node]->on_round(ctx);
-
-      for (auto& [to, payload] : sink.sends) {
-        const EdgeId e = graph_.find_edge(ev.node, to);
-        const std::uint32_t d = graph_.directed_id(e, ev.node);
-        staged.push_back({ev.alg, ev.vround, to, d,
-                          VMessage{ev.node, std::move(payload)}});
-      }
+    // --- Execute the bucket: statically sharded when large enough. ---
+    std::uint32_t shards = 1;
+    if (num_workers > 1 && bucket_size >= 2 * kMinEventsPerShard) {
+      shards = static_cast<std::uint32_t>(std::min<std::size_t>(
+          num_workers, bucket_size / kMinEventsPerShard));
+    }
+    if (shards <= 1) {
+      for (std::size_t i = begin; i < end; ++i) execute_event(events[i], workers[0]);
+      ++rounds_serial;
+    } else {
+      pool_->run(shards, [&](std::uint32_t s) {
+        const std::size_t lo = begin + bucket_size * s / shards;
+        const std::size_t hi = begin + bucket_size * (s + 1) / shards;
+        auto& ws = workers[s];
+        for (std::size_t i = lo; i < hi; ++i) execute_event(events[i], ws);
+      });
+      ++rounds_parallel;
     }
 
-    // Deliver staged messages: account loads, detect violations, enqueue.
-    for (auto& sm : staged) {
-      if (edge_count[sm.directed_edge] == 0) touched_edges.push_back(sm.directed_edge);
-      ++edge_count[sm.directed_edge];
-      ++result.total_messages;
-      if (cfg_.record_patterns) {
-        result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
-      }
-      // The consumer executes vround tag+1 (or on_finish if tag == T, which
-      // always happens after the loop and so cannot be violated).
-      const auto& consumer_slots = time[sm.alg][sm.to];
-      if (sm.tag < consumer_slots.size()) {
-        const std::uint32_t consumer_time = consumer_slots[sm.tag];  // vround tag+1
-        if (consumer_time != kNeverScheduled && consumer_time <= t) {
-          ++result.causality_violations;
+    // --- Barrier: deliver staged messages in shard order (this reproduces
+    // the serial staging order exactly), account loads, detect violations. ---
+    std::uint64_t messages_this_round = 0;
+    for (std::uint32_t w = 0; w < num_workers; ++w) {
+      auto& staged = workers[w].staged;
+      messages_this_round += staged.size();
+      for (auto& sm : staged) {
+        if (edge_count[sm.directed_edge] == 0) touched_edges.push_back(sm.directed_edge);
+        ++edge_count[sm.directed_edge];
+        ++result.total_messages;
+        if (cfg_.record_patterns) {
+          result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
         }
+        // The consumer executes vround tag+1 (or on_finish if tag == T, which
+        // always happens after the loop and so cannot be violated).
+        const auto consumer_slots = schedule.row(sm.alg, sm.to);
+        if (sm.tag < consumer_slots.size()) {
+          const std::uint32_t consumer_time = consumer_slots[sm.tag];  // vround tag+1
+          if (consumer_time != kNeverScheduled && consumer_time <= t) {
+            ++result.causality_violations;
+          }
+        }
+        inbox[sm.alg][std::size_t{sm.to} * schedule.rounds(sm.alg) + (sm.tag - 1)]
+            .push_back(std::move(sm.msg));
       }
-      pending[sm.alg][sm.to].push_back({sm.tag, std::move(sm.msg)});
+      staged.clear();
     }
 
     std::uint32_t max_load = 0;
@@ -264,20 +341,22 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       edge_count[d] = 0;
     }
     touched_edges.clear();
-    if (t < result.max_load_per_big_round.size()) {
-      result.max_load_per_big_round[t] = max_load;
-    }
+    result.max_load_per_big_round[t] = max_load;
     result.max_edge_load = std::max(result.max_edge_load, max_load);
 
     if (telemetry != nullptr) {
-      telemetry->add_counter("executor.messages_sent", staged.size());
-      telemetry->add_counter("executor.messages_delivered", delivered_this_round);
+      std::uint64_t delivered_now = 0;
+      for (const auto& ws : workers) delivered_now += ws.delivered;
+      telemetry->add_counter("executor.messages_sent", messages_this_round);
+      telemetry->add_counter("executor.messages_delivered",
+                             delivered_now - delivered_before);
       telemetry->add_counter("executor.causality_violations",
                              result.causality_violations - violations_before);
       telemetry->record_value("executor.max_load_per_big_round", max_load);
+      delivered_before = delivered_now;
       round_span.arg("t", t);
-      round_span.arg("events", static_cast<double>(bucket[t].size()));
-      round_span.arg("messages", static_cast<double>(staged.size()));
+      round_span.arg("events", static_cast<double>(bucket_size));
+      round_span.arg("messages", static_cast<double>(messages_this_round));
       round_span.arg("max_load", max_load);
     }
   }
@@ -290,13 +369,16 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     result.completed[a].assign(n, 0);
     for (NodeId v = 0; v < n; ++v) {
       if (progress[a][v] != rounds) continue;
-      take_tag(pending[a][v], rounds, inbox_scratch);
-      delivered_at_finish += inbox_scratch.size();
+      std::span<const VMessage> in;
+      if (rounds >= 1) {
+        in = inbox[a][std::size_t{v} * rounds + (rounds - 1)];  // tag == T
+      }
+      delivered_at_finish += in.size();
       VirtualContext ctx;
       ctx.self_ = v;
       ctx.num_nodes_ = n;
       ctx.vround_ = rounds + 1;
-      ctx.inbox_ = inbox_scratch;
+      ctx.inbox_ = in;
       ctx.neighbors_ = graph_.neighbors(v);
       ctx.send_fn_ = nullptr;
       ctx.sink_ = nullptr;
@@ -310,6 +392,9 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   if (telemetry != nullptr) {
     telemetry->add_counter("executor.messages_delivered", delivered_at_finish);
     telemetry->set_gauge("executor.max_edge_load", result.max_edge_load);
+    telemetry->set_gauge("executor.parallel.num_threads", num_workers);
+    telemetry->add_counter("executor.parallel.rounds_parallel", rounds_parallel);
+    telemetry->add_counter("executor.parallel.rounds_serial", rounds_serial);
     run_span.arg("total_messages", static_cast<double>(result.total_messages));
   }
 

@@ -25,10 +25,17 @@
 // (algorithm, node), and the schedule passed in by the private-randomness
 // scheduler is the earliest big-round over all clustering layers -- the fixed
 // point of the paper's first-copy-wins rule.
+//
+// Parallel execution: within one big-round every scheduled event is
+// independent (each (alg, node) executes at most one event per big-round and
+// messages are staged until the round barrier), so the event bucket is
+// statically sharded across `ExecConfig::num_threads` pool workers with
+// per-shard staging buffers that are merged in shard order at the barrier.
+// The result is bit-identical to the serial path for every thread count; see
+// docs/PERFORMANCE.md for the argument and the measured scaling curve.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -36,14 +43,12 @@
 #include "congest/message.hpp"
 #include "congest/pattern.hpp"
 #include "congest/program.hpp"
+#include "congest/schedule_table.hpp"
 #include "graph/graph.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
 
 namespace dasched {
-
-/// Returned by a schedule for rounds a node never executes (e.g. truncated by
-/// its clustering radius, Lemma 4.4).
-inline constexpr std::uint32_t kNeverScheduled = ~std::uint32_t{0};
 
 struct ExecConfig {
   std::uint32_t max_payload_words = kDefaultMaxPayloadWords;
@@ -52,6 +57,12 @@ struct ExecConfig {
   /// Enforce the raw CONGEST bound of one message per directed edge per
   /// big-round -- used by the solo Simulator where big-round == round.
   bool enforce_unit_capacity = false;
+  /// Worker threads for big-round execution. 0 and 1 both mean serial; N >= 2
+  /// spawns a pool of N workers (N - 1 threads plus the calling thread) that
+  /// is reused across big-rounds and runs. Every value produces bit-identical
+  /// ExecutionResults (asserted by tests/test_parallel_executor.cpp); pick
+  /// hardware concurrency for throughput (docs/PERFORMANCE.md).
+  std::uint32_t num_threads = 0;
   /// Optional telemetry sink (borrowed; must outlive the Executor). Null --
   /// the default -- disables all instrumentation: the message hot path then
   /// performs no telemetry calls and no telemetry allocations. When set, the
@@ -60,18 +71,13 @@ struct ExecConfig {
   ///              events/messages/max_load args)
   ///   counters   executor.events_executed, executor.messages_sent,
   ///              executor.messages_delivered, executor.causality_violations,
-  ///              executor.big_rounds
+  ///              executor.big_rounds, executor.parallel.rounds_parallel,
+  ///              executor.parallel.rounds_serial
+  ///   gauges     executor.max_edge_load, executor.parallel.num_threads
   ///   histograms executor.edge_load (per touched directed edge per
   ///              big-round), executor.max_load_per_big_round
   TelemetrySink* telemetry = nullptr;
 };
-
-/// Big-round (0-based) at which node `v` executes virtual round `r` (1-based)
-/// of algorithm `alg`, or kNeverScheduled. For every (alg, v) the scheduled
-/// rounds must be a gap-free prefix 1..p with strictly increasing big-rounds
-/// (checked).
-using ExecTimeFn =
-    std::function<std::uint32_t(std::size_t alg, NodeId v, std::uint32_t r)>;
 
 struct ExecutionResult {
   /// outputs[alg][node]; meaningful only where completed[alg][node] is true.
@@ -109,13 +115,21 @@ class Executor {
   explicit Executor(const Graph& g, ExecConfig cfg = {});
 
   /// Runs all algorithms under the given schedule. Algorithms are borrowed
-  /// (must outlive the call).
+  /// (must outlive the call). The schedule is validated (gap-free prefix,
+  /// strictly increasing big-rounds per (alg, node)) before execution.
+  ExecutionResult run(std::span<const DistributedAlgorithm* const> algorithms,
+                      const ScheduleTable& schedule);
+
+  /// Convenience overload: materializes the callback into a ScheduleTable
+  /// (one call per slot) and runs it.
   ExecutionResult run(std::span<const DistributedAlgorithm* const> algorithms,
                       const ExecTimeFn& exec_time);
 
  private:
   const Graph& graph_;
   ExecConfig cfg_;
+  /// Lazily created on the first parallel run; reused across runs.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dasched

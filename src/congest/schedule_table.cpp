@@ -1,0 +1,55 @@
+#include "congest/schedule_table.hpp"
+
+namespace dasched {
+
+ScheduleTable::ScheduleTable(std::span<const DistributedAlgorithm* const> algos,
+                             NodeId n)
+    : n_(n) {
+  rounds_.reserve(algos.size());
+  base_.reserve(algos.size());
+  std::size_t total = 0;
+  for (const auto* algo : algos) {
+    rounds_.push_back(algo->rounds());
+    base_.push_back(total);
+    total += std::size_t{n} * algo->rounds();
+  }
+  table_.assign(total, kNeverScheduled);
+}
+
+ScheduleTable ScheduleTable::from_fn(std::span<const DistributedAlgorithm* const> algos,
+                                     NodeId n, const ExecTimeFn& fn) {
+  ScheduleTable t(algos, n);
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    for (NodeId v = 0; v < n; ++v) {
+      auto slots = t.row_mut(a, v);
+      for (std::uint32_t r = 1; r <= slots.size(); ++r) {
+        slots[r - 1] = fn(a, v, r);
+      }
+    }
+  }
+  return t;
+}
+
+ScheduleTable ScheduleTable::from_delays(
+    std::span<const DistributedAlgorithm* const> algos, NodeId n,
+    std::span<const std::uint32_t> delays) {
+  DASCHED_CHECK(delays.size() == algos.size());
+  ScheduleTable t(algos, n);
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    for (NodeId v = 0; v < n; ++v) {
+      auto slots = t.row_mut(a, v);
+      for (std::uint32_t r = 1; r <= slots.size(); ++r) {
+        slots[r - 1] = delays[a] + (r - 1);
+      }
+    }
+  }
+  return t;
+}
+
+ScheduleTable ScheduleTable::lockstep(std::span<const DistributedAlgorithm* const> algos,
+                                      NodeId n) {
+  std::vector<std::uint32_t> zeros(algos.size(), 0);
+  return from_delays(algos, n, zeros);
+}
+
+}  // namespace dasched

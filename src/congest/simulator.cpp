@@ -19,9 +19,8 @@ SoloRunResult Simulator::run(const DistributedAlgorithm& algorithm) const {
   }
 
   const DistributedAlgorithm* algos[] = {&algorithm};
-  auto exec = executor.run(algos, [](std::size_t, NodeId, std::uint32_t r) {
-    return r - 1;  // lockstep: virtual round r runs in big-round r-1
-  });
+  // Lockstep: virtual round r runs in big-round r-1.
+  auto exec = executor.run(algos, ScheduleTable::lockstep(algos, graph_.num_nodes()));
 
   DASCHED_CHECK(exec.causality_violations == 0);
   DASCHED_CHECK(exec.all_completed());

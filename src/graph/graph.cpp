@@ -42,6 +42,24 @@ Graph::Graph(NodeId n, std::span<const std::pair<NodeId, NodeId>> edges) : n_(n)
               [](const HalfEdge& x, const HalfEdge& y) { return x.neighbor < y.neighbor; });
     max_degree_ = std::max(max_degree_, deg[v]);
   }
+
+  directed_adjacency_.resize(adjacency_.size());
+  for (NodeId v = 0; v < n_; ++v) {
+    for (std::size_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      directed_adjacency_[i] = directed_id(adjacency_[i].edge, v);
+    }
+  }
+}
+
+std::uint32_t Graph::neighbor_slot(NodeId v, NodeId u) const {
+  DASCHED_DCHECK(v < n_ && u < n_);
+  const auto nbrs = neighbors(v);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), u,
+                             [](const HalfEdge& h, NodeId x) { return h.neighbor < x; });
+  if (it != nbrs.end() && it->neighbor == u) {
+    return static_cast<std::uint32_t>(it - nbrs.begin());
+  }
+  return kInvalidEdge;
 }
 
 EdgeId Graph::find_edge(NodeId u, NodeId v) const {

@@ -62,6 +62,19 @@ class Graph {
 
   std::uint32_t num_directed_edges() const { return 2 * num_edges(); }
 
+  /// Directed edge ids for every half-edge of `v`, parallel to neighbors(v):
+  /// directed_ids(v)[slot] == directed_id(neighbors(v)[slot].edge, v). Cached
+  /// at construction so per-message send paths need no find_edge/directed_id
+  /// recomputation.
+  std::span<const std::uint32_t> directed_ids(NodeId v) const {
+    DASCHED_DCHECK(v < n_);
+    return {directed_adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Adjacency slot of `v`'s half-edge towards `u` (index into neighbors(v)),
+  /// or kInvalidEdge if u is not adjacent to v. O(log degree(v)).
+  std::uint32_t neighbor_slot(NodeId v, NodeId u) const;
+
   /// The other endpoint of e relative to v.
   NodeId other_endpoint(EdgeId e, NodeId v) const {
     const auto [a, b] = endpoints(e);
@@ -81,6 +94,7 @@ class Graph {
   std::vector<std::pair<NodeId, NodeId>> edges_;  // (min, max) endpoints
   std::vector<std::size_t> offsets_;              // size n_ + 1
   std::vector<HalfEdge> adjacency_;               // grouped by node
+  std::vector<std::uint32_t> directed_adjacency_; // parallel to adjacency_
 };
 
 }  // namespace dasched

@@ -19,9 +19,8 @@ BaselineOutcome SequentialScheduler::run(ScheduleProblem& problem) const {
   cfg.enforce_unit_capacity = true;  // one algorithm at a time: solo bandwidth holds
   Executor executor(problem.graph(), cfg);
   BaselineOutcome out;
-  out.exec = executor.run(algos, [&offsets](std::size_t a, NodeId, std::uint32_t r) {
-    return offsets[a] + (r - 1);
-  });
+  out.exec = executor.run(
+      algos, ScheduleTable::from_delays(algos, problem.graph().num_nodes(), offsets));
   out.schedule_rounds = out.exec.num_big_rounds;
   return out;
 }
@@ -78,10 +77,9 @@ BaselineOutcome GreedyScheduler::run(ScheduleProblem& problem) const {
   }
 
   // --- Greedy time-stepped list scheduling. ---
-  std::vector<std::vector<std::vector<std::uint32_t>>> exec_time(k);
+  ScheduleTable exec_time(algos, n);
   std::uint64_t remaining_items = 0;
   for (std::size_t a = 0; a < k; ++a) {
-    exec_time[a].assign(n, std::vector<std::uint32_t>(algos[a]->rounds(), kNeverScheduled));
     remaining_items += static_cast<std::uint64_t>(n) * algos[a]->rounds();
   }
 
@@ -149,7 +147,7 @@ BaselineOutcome GreedyScheduler::run(ScheduleProblem& problem) const {
         continue;
       }
       // Schedule this round at time t.
-      exec_time[item.alg][item.node][item.vround - 1] = t;
+      exec_time.set(item.alg, item.node, item.vround, t);
       --remaining_items;
       st.next_r = item.vround + 1;
       st.prev_time_plus1 = t + 1;
@@ -183,9 +181,7 @@ BaselineOutcome GreedyScheduler::run(ScheduleProblem& problem) const {
   cfg.enforce_unit_capacity = true;
   Executor executor(g, cfg);
   BaselineOutcome out;
-  out.exec = executor.run(algos, [&exec_time](std::size_t a, NodeId v, std::uint32_t r) {
-    return exec_time[a][v][r - 1];
-  });
+  out.exec = executor.run(algos, exec_time);
   out.schedule_rounds = out.exec.num_big_rounds;
   return out;
 }

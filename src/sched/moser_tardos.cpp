@@ -77,10 +77,9 @@ MoserTardosOutcome MoserTardosScheduler::run(ScheduleProblem& problem) const {
   cfg.enforce_unit_capacity = (cfg_.capacity == 1);
   Executor executor(problem.graph(), cfg);
   const auto algos = problem.algorithm_ptrs();
-  const auto& delays = out.delays;
-  out.exec = executor.run(algos, [&delays](std::size_t a, NodeId, std::uint32_t r) {
-    return delays[a] + r - 1;
-  });
+  out.exec = executor.run(
+      algos,
+      ScheduleTable::from_delays(algos, problem.graph().num_nodes(), out.delays));
   out.schedule_rounds = out.exec.num_big_rounds;
   return out;
 }

@@ -152,10 +152,8 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
   std::uint64_t scheduled_slots = 0;
   std::uint64_t dedup_suppressed = 0;
   const auto layers = static_cast<std::uint32_t>(clustering.num_layers());
-  std::vector<std::vector<std::vector<std::uint32_t>>> exec_time(k);
-  for (std::size_t a = 0; a < k; ++a) {
-    exec_time[a].assign(n, {});
-  }
+  const auto algos = problem.algorithm_ptrs();
+  ScheduleTable exec_time(algos, n);
   for (NodeId v = 0; v < n; ++v) {
     // Layers sorted by h'(v) descending; min-delay prefix per algorithm.
     std::vector<std::uint32_t> order(layers);
@@ -165,8 +163,7 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
     });
     for (std::size_t a = 0; a < k; ++a) {
       const std::uint32_t rounds = problem.algorithm(a).rounds();
-      auto& slots = exec_time[a][v];
-      slots.assign(rounds, kNeverScheduled);
+      const auto slots = exec_time.row_mut(a, v);
       // Walk rounds from 1 upward; maintain the prefix of layers with
       // h' >= r - 1 and its min delay.
       std::uint32_t prefix = 0;
@@ -191,13 +188,11 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
 
   ExecConfig ecfg;
   ecfg.telemetry = telemetry;
+  ecfg.num_threads = cfg_.num_threads;
   Executor executor(g, ecfg);
-  const auto algos = problem.algorithm_ptrs();
   {
     TimedSpan exec_span(telemetry, "sched.private", "execute");
-    out.exec = executor.run(algos, [&exec_time](std::size_t a, NodeId v, std::uint32_t r) {
-      return exec_time[a][v][r - 1];
-    });
+    out.exec = executor.run(algos, exec_time);
   }
 
   out.phase_len = cfg_.phase_len > 0

@@ -60,6 +60,9 @@ struct PrivateSchedulerConfig {
   /// Same for the clustering construction.
   bool central_clustering = false;
   std::uint32_t congestion_estimate = 0;  // 0 = exact
+  /// Worker threads for the scheduled execution (ExecConfig::num_threads);
+  /// 0/1 = serial. Results are bit-identical for every value.
+  std::uint32_t num_threads = 0;
   /// Optional telemetry sink (borrowed). Propagated into the clustering and
   /// randomness-sharing stages and the executor; the scheduler itself wraps
   /// every pipeline stage (clustering, sharing, compute_delays, build

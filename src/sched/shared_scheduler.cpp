@@ -60,14 +60,14 @@ SharedScheduleOutcome SharedRandomnessScheduler::run(ScheduleProblem& problem) c
 
   ExecConfig ecfg;
   ecfg.telemetry = cfg_.telemetry;
+  ecfg.num_threads = cfg_.num_threads;
   Executor executor(problem.graph(), ecfg);
   const auto algos = problem.algorithm_ptrs();
-  const auto& delays = out.delays;
   {
     TimedSpan exec_span(cfg_.telemetry, "sched.shared", "execute");
-    out.exec = executor.run(algos, [&delays](std::size_t a, NodeId, std::uint32_t r) {
-      return delays[a] + (r - 1);
-    });
+    out.exec = executor.run(
+        algos, ScheduleTable::from_delays(algos, problem.graph().num_nodes(),
+                                          out.delays));
   }
 
   out.schedule_rounds = out.exec.adaptive_physical_rounds();

@@ -34,6 +34,9 @@ struct SharedSchedulerConfig {
   /// exact value). Lets tests exercise the paper's "constant-factor
   /// approximation" assumption.
   std::uint32_t congestion_estimate = 0;
+  /// Worker threads for the scheduled execution (ExecConfig::num_threads);
+  /// 0/1 = serial. Results are bit-identical for every value.
+  std::uint32_t num_threads = 0;
   /// Optional telemetry sink (borrowed). Emits sched.shared/run +
   /// sched.shared/execute spans, phase/delay gauges, a sched.shared.delay
   /// histogram, the fixed-phase overflow counter, and the executor's metrics.

@@ -1,0 +1,73 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+ThreadPool::ThreadPool(unsigned num_workers)
+    : num_workers_(std::max(1u, num_workers)) {
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ThreadPool::hardware_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::claim_and_run(std::unique_lock<std::mutex>& lock) {
+  if (next_shard_ >= num_shards_) return false;
+  const std::uint32_t shard = next_shard_++;
+  const auto* task = task_;
+  lock.unlock();
+  (*task)(shard);
+  lock.lock();
+  if (++completed_ == num_shards_) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::run(std::uint32_t num_shards,
+                     const std::function<void(std::uint32_t)>& task) {
+  if (num_shards == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  DASCHED_CHECK_MSG(task_ == nullptr, "ThreadPool::run is not reentrant");
+  task_ = &task;
+  num_shards_ = num_shards;
+  next_shard_ = 0;
+  completed_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  while (claim_and_run(lock)) {
+  }
+  done_cv_.wait(lock, [this] { return completed_ == num_shards_; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (task_ != nullptr && generation_ != seen_generation &&
+                       next_shard_ < num_shards_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (claim_and_run(lock)) {
+    }
+  }
+}
+
+}  // namespace dasched

@@ -1,0 +1,74 @@
+// A small fixed-size worker pool for deterministic fork-join parallelism.
+//
+// The pool exists for one pattern, used by the big-round execution engine and
+// reusable by schedulers and benches: a caller repeatedly has a batch of
+// independent shards (statically partitioned work, e.g. contiguous slices of
+// one big-round's event bucket) and wants them executed across a fixed set of
+// threads with a full barrier at the end of every batch. Threads are spawned
+// once and parked between batches, so dispatching a batch costs two
+// condition-variable sweeps rather than thread creation -- cheap enough to
+// call once per big-round.
+//
+// Determinism contract: the pool guarantees every shard runs exactly once and
+// that all shard effects happen-before run() returns. *Which* thread runs a
+// shard is unspecified (idle workers claim the next unclaimed shard), so
+// callers that need bit-reproducible results must make shard outputs
+// independent of the executing thread -- write into per-shard buffers and
+// merge them in shard order after run() returns. That is exactly how the
+// executor keeps parallel execution bit-identical to serial (see
+// docs/PERFORMANCE.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dasched {
+
+class ThreadPool {
+ public:
+  /// A pool with `num_workers` total workers (>= 1). The calling thread
+  /// participates in run(), so num_workers - 1 threads are spawned.
+  explicit ThreadPool(unsigned num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers (spawned threads + the caller).
+  unsigned num_workers() const { return num_workers_; }
+
+  /// Invokes task(shard) once for every shard in [0, num_shards) and blocks
+  /// until all have completed. The caller's thread participates. Shards must
+  /// be free of data races against each other; `task` is borrowed for the
+  /// duration of the call. Not reentrant: run() must not be called from
+  /// inside a task, and only one run() may be active at a time.
+  void run(std::uint32_t num_shards, const std::function<void(std::uint32_t)>& task);
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  static unsigned hardware_workers();
+
+ private:
+  void worker_loop();
+  /// Claims and runs one shard; returns false when none remain. `lock` must
+  /// hold mu_ on entry and holds it again on return.
+  bool claim_and_run(std::unique_lock<std::mutex>& lock);
+
+  const unsigned num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new batch
+  std::condition_variable done_cv_;  // run() waits for batch completion
+  const std::function<void(std::uint32_t)>* task_ = nullptr;  // null between batches
+  std::uint32_t num_shards_ = 0;
+  std::uint32_t next_shard_ = 0;
+  std::uint32_t completed_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per batch so workers never re-enter an old one
+  bool stop_ = false;
+};
+
+}  // namespace dasched
