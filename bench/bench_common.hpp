@@ -24,11 +24,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "telemetry/chrome_trace.hpp"
@@ -112,7 +114,16 @@ inline bool consume_report_flags(int* argc, char** argv) {
         std::fprintf(stderr, "--threads requires a count argument\n");
         return false;
       }
-      s.num_threads = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(arg, &end, 10);
+      if (*arg == '\0' || *arg == '-' || end == arg || *end != '\0' ||
+          errno == ERANGE || v > std::numeric_limits<std::uint32_t>::max()) {
+        std::fprintf(stderr, "--threads: invalid count '%s'\n", arg);
+        return false;
+      }
+      s.num_threads = static_cast<std::uint32_t>(v);
     } else {
       argv[write++] = argv[i];
     }

@@ -1,0 +1,194 @@
+// E12 -- engineering: fault-injection sweep and reliable-delivery recovery.
+//
+// Not a paper claim: the paper's model is a perfectly reliable network. This
+// bench measures how Theorem 1.1 schedules degrade when that assumption is
+// dropped (seeded per-message Bernoulli drops, docs/FAULTS.md) and what the
+// reliable-delivery layer costs to win correctness back:
+//
+//   * E12.a sweeps the drop rate on the E1 workload mix. For each rate it runs
+//     the schedule unprotected and retry-protected (stretch_for_retries) and
+//     reports the round overhead of protection. The "violations" column for
+//     the protected run is a hard check -- the stretch factor guarantees every
+//     retransmission lands strictly before its consumers, so it must be 0 at
+//     every drop rate (fault/reliable.hpp has the argument).
+//   * E12.b is the empirical survival curve: fraction of seeded trials that
+//     still verify correct, unprotected vs retry-protected.
+//
+// The sweep is exported as a RunReport "series" (one numeric point per drop
+// rate) so BENCH_e12.json plots without re-parsing table cells.
+#include "bench_common.hpp"
+
+#include "congest/executor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/reliable.hpp"
+#include "fault/robustness.hpp"
+#include "graph/generators.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+
+namespace dasched {
+namespace {
+
+struct Workload {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<ScheduleProblem> problem;
+  std::vector<const DistributedAlgorithm*> algos;
+  std::unique_ptr<ScheduleTable> schedule;
+};
+
+// The E1 workload mix (mixed broadcast/bfs/routing on sparse gnp) under its
+// Theorem 1.1 shared-randomness schedule.
+Workload make_workload(NodeId n, std::size_t k, std::uint32_t radius,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  w.graph = std::make_unique<Graph>(make_gnp_connected(n, 6.0 / n, rng));
+  w.problem = make_mixed_workload(*w.graph, k, radius, seed);
+  w.problem->run_solo();
+  w.algos = w.problem->algorithm_ptrs();
+  const std::uint32_t log_n =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(bench::log2n(n)));
+  const std::uint32_t range =
+      std::max<std::uint32_t>(1, (w.problem->congestion() + log_n - 1) / log_n);
+  const auto delays = SharedRandomnessScheduler::draw_delays(
+      seed, w.algos.size(), range, std::max<std::uint32_t>(2, log_n));
+  w.schedule = std::make_unique<ScheduleTable>(
+      ScheduleTable::from_delays(w.algos, n, delays));
+  return w;
+}
+
+ExecutionResult run_faulty(const Workload& w, const FaultInjector& injector,
+                           RetryPolicy retry) {
+  ExecConfig cfg;
+  cfg.num_threads = bench::num_threads();
+  cfg.telemetry = bench::telemetry();
+  cfg.faults = &injector;
+  cfg.retry = retry;
+  const ScheduleTable sched = retry.max_retries > 0
+                                  ? stretch_for_retries(*w.schedule, retry)
+                                  : *w.schedule;
+  return Executor(*w.graph, cfg).run(w.algos, sched);
+}
+
+constexpr double kDropRates[] = {0.01, 0.02, 0.05, 0.10};
+constexpr std::uint32_t kRetries = 5;  // 6 attempts; loss prob p^6 per message
+
+void run_sweep_table(NodeId n, std::size_t k, std::uint32_t radius,
+                     std::uint64_t seed) {
+  Workload w = make_workload(n, k, radius, seed);
+
+  // Fault-free baseline for the overhead column.
+  const auto clean = Executor(*w.graph, {}).run(w.algos, *w.schedule);
+  const double clean_rounds =
+      static_cast<double>(clean.adaptive_physical_rounds());
+
+  Table table("E12.a -- drop-rate sweep (gnp n = " + std::to_string(n) +
+              ", k = " + std::to_string(k) + ", retries = " +
+              std::to_string(kRetries) + ")");
+  table.set_header({"drop", "viol (raw)", "lost (raw)", "correct (raw)",
+                    "viol (retry)", "retx", "lost (retry)", "correct (retry)",
+                    "round overhead"});
+  RunReport::Series series;
+  series.name = "e12.fault_sweep";
+  series.columns = {"drop_rate",       "violations_raw",  "lost_raw",
+                    "correct_raw",     "violations_retry", "retransmissions",
+                    "lost_retry",      "correct_retry",    "round_overhead"};
+
+  for (const double drop : kDropRates) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_rate = drop;
+    const FaultInjector injector(*w.graph, plan);
+
+    const auto raw = run_faulty(w, injector, RetryPolicy{});
+    const bool raw_ok = w.problem->verify(raw).ok();
+    const auto retry = run_faulty(w, injector, RetryPolicy{kRetries});
+    const bool retry_ok = w.problem->verify(retry).ok();
+    const double overhead =
+        static_cast<double>(retry.adaptive_physical_rounds()) / clean_rounds;
+
+    table.add_row({Table::fmt(drop, 2), Table::fmt(raw.causality_violations),
+                   Table::fmt(raw.faults.lost), raw_ok ? "yes" : "NO",
+                   Table::fmt(retry.causality_violations),
+                   Table::fmt(retry.faults.retransmissions),
+                   Table::fmt(retry.faults.lost), retry_ok ? "yes" : "NO",
+                   Table::fmt(overhead, 2) + "x"});
+    series.points.push_back({drop, static_cast<double>(raw.causality_violations),
+                             static_cast<double>(raw.faults.lost),
+                             raw_ok ? 1.0 : 0.0,
+                             static_cast<double>(retry.causality_violations),
+                             static_cast<double>(retry.faults.retransmissions),
+                             static_cast<double>(retry.faults.lost),
+                             retry_ok ? 1.0 : 0.0, overhead});
+  }
+  bench::emit(table);
+  bench::report().add_series(std::move(series));
+}
+
+void run_survival_table(NodeId n, std::size_t k, std::uint32_t radius,
+                        std::uint64_t seed, std::uint32_t trials) {
+  Workload w = make_workload(n, k, radius, seed);
+  const std::vector<double> rates(std::begin(kDropRates), std::end(kDropRates));
+
+  auto trial = [&](RetryPolicy retry) {
+    return [&w, retry](double drop_rate, std::uint64_t fault_seed) {
+      FaultPlan plan;
+      plan.seed = fault_seed;
+      plan.drop_rate = drop_rate;
+      const FaultInjector injector(*w.graph, plan);
+      return w.problem->verify(run_faulty(w, injector, retry)).ok();
+    };
+  };
+  const auto raw_curve =
+      survival_curve(rates, trials, seed, trial(RetryPolicy{}), bench::telemetry());
+  const auto retry_curve = survival_curve(rates, trials, seed,
+                                          trial(RetryPolicy{kRetries}),
+                                          bench::telemetry());
+
+  Table table("E12.b -- survival curve (" + std::to_string(trials) +
+              " trials/point)");
+  table.set_header({"drop", "survive (raw)", "survive (retries=" +
+                                                 std::to_string(kRetries) + ")"});
+  RunReport::Series series;
+  series.name = "e12.survival";
+  series.columns = {"drop_rate", "survival_raw", "survival_retry"};
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    table.add_row({Table::fmt(rates[i], 2),
+                   Table::fmt(raw_curve.points[i].survival_fraction(), 2),
+                   Table::fmt(retry_curve.points[i].survival_fraction(), 2)});
+    series.points.push_back({rates[i], raw_curve.points[i].survival_fraction(),
+                             retry_curve.points[i].survival_fraction()});
+  }
+  bench::emit(table);
+  bench::report().add_series(std::move(series));
+}
+
+void print_tables() {
+  bench::experiment_banner(
+      "E12 (engineering)",
+      "fault injection: schedule degradation vs drop rate, reliable-delivery recovery");
+
+  run_sweep_table(300, 16, 4, 12001);
+  std::cout << '\n';
+  run_survival_table(150, 10, 4, 12002, 5);
+}
+
+void bm_faulty_executor(benchmark::State& state) {
+  static Workload w = make_workload(300, 16, 4, 12001);
+  FaultPlan plan;
+  plan.seed = 12001;
+  plan.drop_rate = 0.05;
+  static const FaultInjector injector(*w.graph, plan);
+  const RetryPolicy retry{static_cast<std::uint32_t>(state.range(0))};
+  for (auto _ : state) {
+    const auto result = run_faulty(w, injector, retry);
+    benchmark::DoNotOptimize(result.faults.attempts);
+  }
+}
+BENCHMARK(bm_faulty_executor)->Arg(0)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+DASCHED_BENCH_MAIN(dasched::print_tables)

@@ -2,6 +2,8 @@
 //
 //   dasched_cli [--graph FAMILY] [--n N] [--k K] [--radius R]
 //               [--workload KIND] [--scheduler NAME] [--seed S] [--threads T]
+//               [--fault-seed S] [--drop-rate P] [--dup-rate P] [--crash K]
+//               [--outages K] [--retries R]
 //               [--report OUT.json] [--trace OUT.trace.json]
 //
 //   FAMILY:    gnp | grid | torus | path | cycle | tree | regular   (default gnp)
@@ -10,6 +12,15 @@
 //
 // Prints the instance's congestion/dilation, then one row per scheduler with
 // the realized schedule length, pre-computation rounds, and verification.
+//
+// Fault flags run the Theorem 1.1 schedule on an unreliable network
+// (docs/FAULTS.md): --drop-rate/--dup-rate are per-message probabilities,
+// --crash picks K random crash-stop nodes, --outages K random link outages,
+// all seeded by --fault-seed so faulty runs are exactly reproducible at any
+// --threads value. --retries R adds the reliable-delivery layer (bounded
+// retransmissions, exponential backoff) on a retry-stretched schedule and
+// reports the recovery alongside the unprotected run, plus the per-big-round
+// slack of the schedule.
 //
 // --report writes a structured JSON run report (instance metadata, the
 // schedulers table, and a telemetry snapshot of counters/histograms/spans);
@@ -21,6 +32,7 @@
 // --threads T runs the shared/private scheduled executions on T worker
 // threads (0 = serial, the default). Results are bit-identical for every
 // value; see docs/PERFORMANCE.md.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
@@ -28,6 +40,10 @@
 #include <iostream>
 #include <string>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/reliable.hpp"
+#include "fault/robustness.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "sched/baseline.hpp"
@@ -36,6 +52,7 @@
 #include "sched/private_scheduler.hpp"
 #include "sched/shared_scheduler.hpp"
 #include "sched/workloads.hpp"
+#include "util/math.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/run_report.hpp"
@@ -56,6 +73,18 @@ struct Options {
   std::uint32_t threads = 0;  // executor workers; 0 = serial
   std::string report_path;    // --report: structured JSON run report
   std::string trace_path;     // --trace: Chrome trace_event JSON
+
+  // Fault-injection flags (docs/FAULTS.md).
+  std::uint64_t fault_seed = 1;
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  std::uint32_t crash = 0;    // random crash-stop nodes
+  std::uint32_t outages = 0;  // random link outages
+  std::uint32_t retries = 0;  // reliable-delivery retry budget
+
+  bool any_faults() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || crash > 0 || outages > 0;
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,10 +92,34 @@ struct Options {
                "usage: %s [--graph gnp|grid|torus|path|cycle|tree|regular] [--n N]\n"
                "          [--k K] [--radius R] [--workload mixed|broadcast|bfs|routing]\n"
                "          [--scheduler all|sequential|greedy|shared|private|global|doubling]\n"
-               "          [--seed S] [--threads T] [--report OUT.json]\n"
-               "          [--trace OUT.trace.json]\n",
+               "          [--seed S] [--threads T] [--fault-seed S] [--drop-rate P]\n"
+               "          [--dup-rate P] [--crash K] [--outages K] [--retries R]\n"
+               "          [--report OUT.json] [--trace OUT.trace.json]\n",
                argv0);
   std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* s, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (*s == '\0' || *s == '-' || end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: invalid number '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parse_prob(const char* s, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (*s == '\0' || end == s || *end != '\0' || errno == ERANGE || v < 0.0 ||
+      v > 1.0) {
+    std::fprintf(stderr, "%s: expected a probability in [0, 1], got '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
 }
 
 Options parse(int argc, char** argv) {
@@ -93,6 +146,18 @@ Options parse(int argc, char** argv) {
       opt.seed = std::strtoull(v7, nullptr, 10);
     } else if (const char* vt = need("--threads")) {
       opt.threads = static_cast<std::uint32_t>(std::atoi(vt));
+    } else if (const char* vfs = need("--fault-seed")) {
+      opt.fault_seed = parse_u64(vfs, "--fault-seed");
+    } else if (const char* vdr = need("--drop-rate")) {
+      opt.drop_rate = parse_prob(vdr, "--drop-rate");
+    } else if (const char* vdu = need("--dup-rate")) {
+      opt.dup_rate = parse_prob(vdu, "--dup-rate");
+    } else if (const char* vcr = need("--crash")) {
+      opt.crash = static_cast<std::uint32_t>(parse_u64(vcr, "--crash"));
+    } else if (const char* vou = need("--outages")) {
+      opt.outages = static_cast<std::uint32_t>(parse_u64(vou, "--outages"));
+    } else if (const char* vre = need("--retries")) {
+      opt.retries = static_cast<std::uint32_t>(parse_u64(vre, "--retries"));
     } else if (const char* v8 = need("--report")) {
       opt.report_path = v8;
     } else if (const char* v9 = need("--trace")) {
@@ -211,6 +276,81 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // --- Faulty execution of the Theorem 1.1 schedule (docs/FAULTS.md). ---
+  Table fault_table("faulty execution (Thm 1.1 schedule)");
+  Table slack_table("schedule slack");
+  if (opt.any_faults() || opt.retries > 0) {
+    auto p = make_problem(g, opt);
+    p->run_solo();
+    const auto algos = p->algorithm_ptrs();
+
+    // The same parameters SharedRandomnessScheduler::run picks.
+    const std::uint32_t log_n =
+        std::max(1, ceil_log2(std::max<NodeId>(2, g.num_nodes())));
+    const std::uint32_t phase_len = log_n;
+    const std::uint32_t range = std::max<std::uint32_t>(
+        1, (p->congestion() + phase_len - 1) / phase_len);
+    const auto delays = SharedRandomnessScheduler::draw_delays(
+        opt.seed, algos.size(), range, std::max<std::uint32_t>(2, log_n));
+    const auto schedule = ScheduleTable::from_delays(algos, g.num_nodes(), delays);
+    std::uint32_t last_round = 0;
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      if (algos[a]->rounds() > 0) {
+        last_round = std::max(last_round, delays[a] + algos[a]->rounds() - 1);
+      }
+    }
+
+    FaultPlan plan;
+    plan.seed = opt.fault_seed;
+    plan.drop_rate = opt.drop_rate;
+    plan.duplicate_rate = opt.dup_rate;
+    add_random_crashes(plan, g.num_nodes(), opt.crash, last_round);
+    add_random_outages(plan, g, opt.outages, last_round,
+                       std::max<std::uint32_t>(1, (last_round + 1) / 4));
+    const FaultInjector injector(g, plan);
+
+    std::printf("\nfaults: seed=%llu drop=%.3f dup=%.3f crashes=%u outages=%u\n",
+                static_cast<unsigned long long>(plan.seed), plan.drop_rate,
+                plan.duplicate_rate, opt.crash, opt.outages);
+
+    fault_table.set_header({"config", "big_rounds", "rounds", "attempts", "dropped",
+                            "retx", "lost", "violations", "correct"});
+    auto fault_row = [&](const char* label, const ScheduleTable& sched,
+                         RetryPolicy retry) {
+      ExecConfig ecfg;
+      ecfg.num_threads = opt.threads;
+      ecfg.telemetry = sink;
+      ecfg.faults = &injector;
+      ecfg.retry = retry;
+      const auto exec = Executor(g, ecfg).run(algos, sched);
+      const auto ver = p->verify(exec);
+      fault_table.add_row(
+          {label, Table::fmt(std::uint64_t{exec.num_big_rounds}),
+           Table::fmt(exec.adaptive_physical_rounds()),
+           Table::fmt(exec.faults.attempts), Table::fmt(exec.faults.dropped()),
+           Table::fmt(exec.faults.retransmissions), Table::fmt(exec.faults.lost),
+           Table::fmt(exec.causality_violations), ver.ok() ? "yes" : "NO"});
+      return exec;
+    };
+
+    const auto unprotected = fault_row("no retries", schedule, RetryPolicy{});
+    if (opt.retries > 0) {
+      const RetryPolicy policy{opt.retries};
+      const std::string label = "retries=" + std::to_string(opt.retries) +
+                                " (stretch x" +
+                                std::to_string(policy.stretch_factor()) + ")";
+      (void)fault_row(label.c_str(), stretch_for_retries(schedule, policy), policy);
+    }
+    std::printf("\n");
+    fault_table.print(std::cout);
+
+    const auto slack =
+        analyze_slack(unprotected.max_load_per_big_round, phase_len, sink);
+    slack_table = slack.to_table("schedule slack (no-retries run, phase_len = " +
+                                 std::to_string(phase_len) + ")");
+    slack_table.print(std::cout);
+  }
+
   int rc = 0;
   if (!opt.report_path.empty()) {
     RunReport report;
@@ -226,6 +366,16 @@ int main(int argc, char** argv) {
     report.set_meta("dilation", std::uint64_t{probe->dilation()});
     report.set_meta("trivial_lower_bound", std::uint64_t{probe->trivial_lower_bound()});
     report.add_table(table);
+    if (opt.any_faults() || opt.retries > 0) {
+      report.set_meta("fault_seed", std::uint64_t{opt.fault_seed});
+      report.set_meta("drop_rate", opt.drop_rate);
+      report.set_meta("dup_rate", opt.dup_rate);
+      report.set_meta("crash", std::uint64_t{opt.crash});
+      report.set_meta("outages", std::uint64_t{opt.outages});
+      report.set_meta("retries", std::uint64_t{opt.retries});
+      report.add_table(fault_table);
+      report.add_table(slack_table);
+    }
     report.attach_metrics(metrics);
     if (report.write_file(opt.report_path)) {
       std::printf("\nreport written to %s\n", opt.report_path.c_str());

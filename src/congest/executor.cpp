@@ -91,6 +91,7 @@ struct WorkerState {
   std::vector<std::pair<std::uint32_t, Payload>> sends;  // per-event scratch
   std::vector<std::uint8_t> slot_used;                   // size max_degree
   std::uint64_t delivered = 0;  // cumulative messages consumed by this worker
+  std::uint64_t skipped = 0;    // events skipped because the node crash-stopped
 };
 
 /// Minimum events per shard before a big-round is farmed out to the pool:
@@ -205,6 +206,19 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   std::vector<std::uint32_t> edge_count(graph_.num_directed_edges(), 0);
   std::vector<std::uint32_t> touched_edges;
 
+  // --- Fault injection and reliable delivery (docs/FAULTS.md). All fault
+  // decisions run at the delivery barrier below, which processes messages in
+  // shard-merged (== serial) order, and are pure functions of the plan seed
+  // and message identity -- so faulty runs are bit-identical across thread
+  // counts. With `faults` null none of this is touched. ---
+  const FaultInjector* const faults = cfg_.faults;
+  const std::uint32_t max_retries = faults != nullptr ? cfg_.retry.max_retries : 0;
+  RetryQueue<StagedMessage> retry_queue;
+  // Retransmissions may land past the last scheduled big-round (they still
+  // matter: tag-T messages are consumed by on_finish after the loop); the
+  // horizon grows to cover them.
+  std::uint32_t horizon = num_big_rounds;
+
   // --- Worker pool and per-worker staging. ---
   const std::uint32_t num_workers = std::max<std::uint32_t>(1, cfg_.num_threads);
   if (num_workers > 1 && pool_ == nullptr) {
@@ -229,7 +243,13 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   // mutates is either owned by the event's (alg, node) -- programs, rngs,
   // progress, the consumed inbox bucket -- or by the executing shard's
   // WorkerState, so shards are data-race free.
-  auto execute_event = [&](const ExecEvent& ev, WorkerState& ws) {
+  auto execute_event = [&](const ExecEvent& ev, WorkerState& ws, std::uint32_t t) {
+    if (faults != nullptr && faults->node_crashed(ev.node, t)) {
+      // Crash-stop: the node executes nothing from its crash round on. Its
+      // progress freezes, so it is never marked completed.
+      ++ws.skipped;
+      return;
+    }
     auto& prog_progress = progress[ev.alg][ev.node];
     DASCHED_CHECK_MSG(prog_progress + 1 == ev.vround,
                       "executor: out-of-order virtual round");
@@ -268,11 +288,12 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     if (in_bucket != nullptr) in_bucket->clear();
   };
 
-  // --- Main loop over big-rounds. ---
+  // --- Main loop over big-rounds. Rounds >= num_big_rounds exist only when
+  // retransmissions extended the horizon; they have no scheduled events. ---
   std::uint64_t delivered_before = 0;
-  for (std::uint32_t t = 0; t < num_big_rounds; ++t) {
-    const std::size_t begin = bucket_start[t];
-    const std::size_t end = bucket_start[t + 1];
+  for (std::uint32_t t = 0; t < horizon; ++t) {
+    const std::size_t begin = t < num_big_rounds ? bucket_start[t] : events.size();
+    const std::size_t end = t < num_big_rounds ? bucket_start[t + 1] : events.size();
     const std::size_t bucket_size = end - begin;
     // Telemetry is batched per big-round: the per-event/per-message path
     // below only bumps locals, so a null sink costs nothing and a live sink
@@ -288,42 +309,116 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
           num_workers, bucket_size / kMinEventsPerShard));
     }
     if (shards <= 1) {
-      for (std::size_t i = begin; i < end; ++i) execute_event(events[i], workers[0]);
+      for (std::size_t i = begin; i < end; ++i) {
+        execute_event(events[i], workers[0], t);
+      }
       ++rounds_serial;
     } else {
       pool_->run(shards, [&](std::uint32_t s) {
         const std::size_t lo = begin + bucket_size * s / shards;
         const std::size_t hi = begin + bucket_size * (s + 1) / shards;
         auto& ws = workers[s];
-        for (std::size_t i = lo; i < hi; ++i) execute_event(events[i], ws);
+        for (std::size_t i = lo; i < hi; ++i) execute_event(events[i], ws, t);
       });
       ++rounds_parallel;
     }
 
     // --- Barrier: deliver staged messages in shard order (this reproduces
     // the serial staging order exactly), account loads, detect violations. ---
+    auto account_edge = [&](std::uint32_t d) {
+      if (edge_count[d] == 0) touched_edges.push_back(d);
+      ++edge_count[d];
+    };
+    auto deliver = [&](std::uint32_t alg, std::uint32_t tag, NodeId to,
+                       VMessage msg) {
+      // The consumer executes vround tag+1 (or on_finish if tag == T, which
+      // always happens after the loop and so cannot be violated).
+      const auto consumer_slots = schedule.row(alg, to);
+      if (tag < consumer_slots.size()) {
+        const std::uint32_t consumer_time = consumer_slots[tag];  // vround tag+1
+        if (consumer_time != kNeverScheduled && consumer_time <= t) {
+          ++result.causality_violations;
+        }
+      }
+      inbox[alg][std::size_t{to} * schedule.rounds(alg) + (tag - 1)]
+          .push_back(std::move(msg));
+    };
+    // Faulty-path transmission: one bandwidth slot in this big-round, fate
+    // from the injector (pure in the message identity and t), retransmission
+    // bookkeeping for the reliable layer.
+    auto transmit_faulty = [&](StagedMessage& sm, std::uint32_t attempt) {
+      auto& fs = result.faults;
+      ++fs.attempts;
+      account_edge(sm.directed_edge);
+      ++result.total_messages;
+      bool dropped = false;
+      if (faults->link_down(sm.directed_edge / 2, t)) {
+        ++fs.dropped_outage;
+        dropped = true;
+      } else if (faults->node_crashed(sm.to, t)) {
+        // A crashed receiver neither stores nor acks the message.
+        ++fs.dropped_crash;
+        dropped = true;
+      } else if (faults->drop(sm.alg, sm.directed_edge, sm.tag, attempt)) {
+        ++fs.dropped_random;
+        dropped = true;
+      }
+      if (!dropped) {
+        ++fs.delivered;
+        if (faults->duplicate(sm.alg, sm.directed_edge, sm.tag, attempt)) {
+          if (max_retries > 0) {
+            // The reliable layer's per-edge bookkeeping recognizes the copy.
+            ++fs.duplicates_suppressed;
+          } else {
+            ++fs.duplicated;
+            ++fs.delivered;
+            deliver(sm.alg, sm.tag, sm.to, VMessage{sm.msg.from, sm.msg.payload});
+          }
+        }
+        deliver(sm.alg, sm.tag, sm.to, std::move(sm.msg));
+        return;
+      }
+      // Dropped. Retransmit with exponential backoff (gap 2^attempt after
+      // failed attempt `attempt`) while the sender is alive and budget lasts.
+      if (attempt < max_retries) {
+        const std::uint32_t retry_round = t + (1u << attempt);
+        if (!faults->node_crashed(sm.msg.from, retry_round)) {
+          ++fs.retransmissions;
+          if (retry_round >= horizon) {
+            horizon = retry_round + 1;
+            result.max_load_per_big_round.resize(horizon, 0);
+          }
+          retry_queue.schedule(retry_round, std::move(sm), attempt + 1);
+          return;
+        }
+      }
+      ++fs.lost;
+    };
+
     std::uint64_t messages_this_round = 0;
+    // Retransmissions due this round go first: they are older than this
+    // round's fresh sends, and their queue order is deterministic (scheduled
+    // at earlier barriers in shard-merged order).
+    if (max_retries > 0) {
+      auto due = retry_queue.take(t);
+      messages_this_round += due.size();
+      for (auto& entry : due) transmit_faulty(entry.msg, entry.attempt);
+    }
     for (std::uint32_t w = 0; w < num_workers; ++w) {
       auto& staged = workers[w].staged;
       messages_this_round += staged.size();
       for (auto& sm : staged) {
-        if (edge_count[sm.directed_edge] == 0) touched_edges.push_back(sm.directed_edge);
-        ++edge_count[sm.directed_edge];
-        ++result.total_messages;
         if (cfg_.record_patterns) {
+          // Patterns describe what the algorithm sent; retries are excluded.
           result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
         }
-        // The consumer executes vround tag+1 (or on_finish if tag == T, which
-        // always happens after the loop and so cannot be violated).
-        const auto consumer_slots = schedule.row(sm.alg, sm.to);
-        if (sm.tag < consumer_slots.size()) {
-          const std::uint32_t consumer_time = consumer_slots[sm.tag];  // vround tag+1
-          if (consumer_time != kNeverScheduled && consumer_time <= t) {
-            ++result.causality_violations;
-          }
+        if (faults == nullptr) {
+          account_edge(sm.directed_edge);
+          ++result.total_messages;
+          deliver(sm.alg, sm.tag, sm.to, std::move(sm.msg));
+        } else {
+          transmit_faulty(sm, 0);
         }
-        inbox[sm.alg][std::size_t{sm.to} * schedule.rounds(sm.alg) + (sm.tag - 1)]
-            .push_back(std::move(sm.msg));
       }
       staged.clear();
     }
@@ -361,7 +456,13 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     }
   }
 
-  // --- Finish and collect outputs. ---
+  // Retransmissions may have extended the run past the scheduled horizon.
+  result.num_big_rounds = horizon;
+  for (const auto& ws : workers) result.faults.skipped_events += ws.skipped;
+
+  // --- Finish and collect outputs. A crash-stopped node never runs
+  // on_finish and is never marked completed, even if it crashed after its
+  // last scheduled event. ---
   std::uint64_t delivered_at_finish = 0;
   for (std::size_t a = 0; a < k; ++a) {
     const std::uint32_t rounds = algorithms[a]->rounds();
@@ -369,6 +470,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     result.completed[a].assign(n, 0);
     for (NodeId v = 0; v < n; ++v) {
       if (progress[a][v] != rounds) continue;
+      if (faults != nullptr && faults->crash_round(v) < horizon) continue;
       std::span<const VMessage> in;
       if (rounds >= 1) {
         in = inbox[a][std::size_t{v} * rounds + (rounds - 1)];  // tag == T
@@ -396,6 +498,26 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     telemetry->add_counter("executor.parallel.rounds_parallel", rounds_parallel);
     telemetry->add_counter("executor.parallel.rounds_serial", rounds_serial);
     run_span.arg("total_messages", static_cast<double>(result.total_messages));
+    if (faults != nullptr) {
+      // fault.* names are emitted only on faulty runs, so a null injector
+      // leaves the telemetry stream byte-identical to the reliable engine.
+      const auto& fs = result.faults;
+      // Keep big_rounds == rounds_serial + rounds_parallel when retries
+      // extended the horizon past the scheduled rounds counted up front.
+      telemetry->add_counter("executor.big_rounds", horizon - num_big_rounds);
+      telemetry->add_counter("fault.attempts", fs.attempts);
+      telemetry->add_counter("fault.delivered", fs.delivered);
+      telemetry->add_counter("fault.dropped.random", fs.dropped_random);
+      telemetry->add_counter("fault.dropped.outage", fs.dropped_outage);
+      telemetry->add_counter("fault.dropped.crash", fs.dropped_crash);
+      telemetry->add_counter("fault.duplicates.delivered", fs.duplicated);
+      telemetry->add_counter("fault.duplicates.suppressed", fs.duplicates_suppressed);
+      telemetry->add_counter("fault.retransmissions", fs.retransmissions);
+      telemetry->add_counter("fault.lost", fs.lost);
+      telemetry->add_counter("fault.skipped_events", fs.skipped_events);
+      telemetry->set_gauge("fault.crashed_nodes", faults->num_crashes());
+      telemetry->set_gauge("fault.retry_budget", max_retries);
+    }
   }
 
   return result;

@@ -33,6 +33,17 @@
 // per-shard staging buffers that are merged in shard order at the barrier.
 // The result is bit-identical to the serial path for every thread count; see
 // docs/PERFORMANCE.md for the argument and the measured scaling curve.
+//
+// Fault injection: an optional `ExecConfig::faults` hook models an unreliable
+// network (message drops/duplicates, link outages, crash-stop nodes). All
+// fault decisions happen at the (serial, shard-order-merged) delivery barrier
+// and are pure functions of the plan seed and the message identity, so faulty
+// runs stay bit-identical across thread counts; with the hook null the
+// executor is byte-for-byte the reliable engine above. `ExecConfig::retry`
+// layers reliable delivery on top: dropped transmissions are re-sent with
+// exponential slot backoff (bounded attempts), consuming bandwidth in the
+// big-round of each retry; run the schedule through stretch_for_retries so
+// the retry slots exist. See docs/FAULTS.md.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +55,8 @@
 #include "congest/pattern.hpp"
 #include "congest/program.hpp"
 #include "congest/schedule_table.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/reliable.hpp"
 #include "graph/graph.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
@@ -77,6 +90,21 @@ struct ExecConfig {
   ///   histograms executor.edge_load (per touched directed edge per
   ///              big-round), executor.max_load_per_big_round
   TelemetrySink* telemetry = nullptr;
+  /// Optional fault injector (borrowed; must outlive the run). Null -- the
+  /// default -- models the paper's perfectly reliable network; results are
+  /// then bit-identical to a build without the fault subsystem, and no
+  /// fault.* telemetry is emitted. When set, every transmission attempt
+  /// consults the injector at the delivery barrier (drops, duplicates, link
+  /// outages) and crash-stopped nodes skip their scheduled events; the run
+  /// additionally fills ExecutionResult::faults and emits fault.* counters
+  /// (docs/FAULTS.md lists them).
+  const FaultInjector* faults = nullptr;
+  /// Reliable-delivery retransmission policy; consulted only when `faults`
+  /// is set. With max_retries > 0, run the schedule through
+  /// stretch_for_retries(schedule, retry) so retry slots exist between
+  /// original big-rounds -- then every retransmission lands strictly before
+  /// the consumers that depend on it (fault/reliable.hpp).
+  RetryPolicy retry;
 };
 
 struct ExecutionResult {
@@ -94,6 +122,25 @@ struct ExecutionResult {
 
   /// Per-algorithm patterns (virtual-round indexed); only if record_patterns.
   std::vector<CommunicationPattern> patterns;
+
+  /// Fault accounting; all-zero unless ExecConfig::faults was set.
+  struct FaultStats {
+    std::uint64_t attempts = 0;        // transmissions incl. retransmissions
+    std::uint64_t delivered = 0;       // copies appended to an inbox
+    std::uint64_t dropped_random = 0;  // lost to Bernoulli(drop_rate)
+    std::uint64_t dropped_outage = 0;  // lost to a link outage
+    std::uint64_t dropped_crash = 0;   // receiver already crashed (never acks)
+    std::uint64_t duplicated = 0;      // extra copies delivered (no reliable layer)
+    std::uint64_t duplicates_suppressed = 0;  // deduped by the reliable layer
+    std::uint64_t retransmissions = 0;
+    std::uint64_t lost = 0;            // budget exhausted or sender crashed
+    std::uint64_t skipped_events = 0;  // events not executed: crash-stop
+    std::uint64_t dropped() const {
+      return dropped_random + dropped_outage + dropped_crash;
+    }
+    friend bool operator==(const FaultStats&, const FaultStats&) = default;
+  };
+  FaultStats faults;
 
   /// Realized schedule length if every big-round lasts exactly as many
   /// physical rounds as its busiest edge needs (>= 1).

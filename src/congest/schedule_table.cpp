@@ -52,4 +52,17 @@ ScheduleTable ScheduleTable::lockstep(std::span<const DistributedAlgorithm* cons
   return from_delays(algos, n, zeros);
 }
 
+ScheduleTable ScheduleTable::scaled(std::uint32_t factor) const {
+  DASCHED_CHECK(factor >= 1);
+  ScheduleTable t(*this);
+  if (factor == 1) return t;
+  for (auto& slot : t.table_) {
+    if (slot == kNeverScheduled) continue;
+    DASCHED_CHECK_MSG(slot <= (kNeverScheduled - 1) / factor,
+                      "scaled schedule overflows the big-round range");
+    slot *= factor;
+  }
+  return t;
+}
+
 }  // namespace dasched

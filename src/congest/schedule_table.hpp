@@ -59,6 +59,13 @@ class ScheduleTable {
   static ScheduleTable lockstep(std::span<const DistributedAlgorithm* const> algos,
                                 NodeId n);
 
+  /// A copy with every scheduled slot multiplied by `factor` (kNeverScheduled
+  /// preserved). This is the retry-slot stretch of the reliable-delivery
+  /// layer (fault/reliable.hpp): factor - 1 empty big-rounds open up after
+  /// each original one, preserving validity (gap-free prefixes stay gap-free,
+  /// strictly increasing stays strictly increasing) and relative order.
+  ScheduleTable scaled(std::uint32_t factor) const;
+
   std::size_t num_algorithms() const { return rounds_.size(); }
   NodeId num_nodes() const { return n_; }
   std::uint32_t rounds(std::size_t a) const { return rounds_[a]; }

@@ -1,0 +1,39 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dasched {
+
+FaultInjector::FaultInjector(const Graph& g, FaultPlan plan)
+    : plan_(std::move(plan)), crash_round_(g.num_nodes(), kNoCrash) {
+  DASCHED_CHECK_MSG(plan_.drop_rate >= 0.0 && plan_.drop_rate <= 1.0,
+                    "drop_rate must be a probability");
+  DASCHED_CHECK_MSG(plan_.duplicate_rate >= 0.0 && plan_.duplicate_rate <= 1.0,
+                    "duplicate_rate must be a probability");
+  for (const auto& c : plan_.crashes) {
+    DASCHED_CHECK_MSG(c.node < g.num_nodes(), "crash at out-of-range node");
+    // A node listed twice crashes at the earliest listed round.
+    crash_round_[c.node] = std::min(crash_round_[c.node], c.at_round);
+  }
+  sorted_outages_ = plan_.outages;
+  for (const auto& o : sorted_outages_) {
+    DASCHED_CHECK_MSG(o.edge < g.num_edges(), "outage at out-of-range edge");
+    DASCHED_CHECK_MSG(o.from_round <= o.until_round, "outage interval reversed");
+  }
+  std::sort(sorted_outages_.begin(), sorted_outages_.end(),
+            [](const LinkOutage& a, const LinkOutage& b) { return a.edge < b.edge; });
+}
+
+bool FaultInjector::link_down(EdgeId e, std::uint32_t t) const {
+  auto it = std::lower_bound(
+      sorted_outages_.begin(), sorted_outages_.end(), e,
+      [](const LinkOutage& o, EdgeId x) { return o.edge < x; });
+  for (; it != sorted_outages_.end() && it->edge == e; ++it) {
+    if (t >= it->from_round && t < it->until_round) return true;
+  }
+  return false;
+}
+
+}  // namespace dasched

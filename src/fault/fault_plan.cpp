@@ -1,0 +1,64 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dasched {
+
+namespace {
+
+// Purpose salts keep the crash and outage generators on disjoint streams of
+// the same plan seed.
+constexpr std::uint64_t kCrashSalt = 0x63726173685f5f31ULL;
+constexpr std::uint64_t kOutageSalt = 0x6f75746167655f31ULL;
+
+}  // namespace
+
+void add_random_crashes(FaultPlan& plan, NodeId num_nodes, std::uint32_t count,
+                        std::uint32_t max_round) {
+  if (count == 0 || num_nodes == 0) return;
+  std::vector<std::uint8_t> crashed(num_nodes, 0);
+  for (const auto& c : plan.crashes) {
+    if (c.node < num_nodes) crashed[c.node] = 1;
+  }
+  std::vector<NodeId> candidates;
+  candidates.reserve(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (!crashed[v]) candidates.push_back(v);
+  }
+  Rng rng(seed_combine(plan.seed, kCrashSalt, count, max_round));
+  const auto picks = std::min<std::size_t>(count, candidates.size());
+  // Partial Fisher-Yates: the first `picks` entries are a uniform sample
+  // without replacement.
+  for (std::size_t i = 0; i < picks; ++i) {
+    const auto j = i + rng.next_below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+    plan.crashes.push_back(
+        {candidates[i], static_cast<std::uint32_t>(rng.next_below(
+                            static_cast<std::uint64_t>(max_round) + 1))});
+  }
+}
+
+void add_random_outages(FaultPlan& plan, const Graph& g, std::uint32_t count,
+                        std::uint32_t max_round, std::uint32_t max_len) {
+  if (count == 0 || g.num_edges() == 0) return;
+  DASCHED_CHECK(max_len >= 1);
+  std::vector<EdgeId> edges(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = e;
+  Rng rng(seed_combine(plan.seed, kOutageSalt, count,
+                       seed_combine(max_round, max_len)));
+  const auto picks = std::min<std::size_t>(count, edges.size());
+  for (std::size_t i = 0; i < picks; ++i) {
+    const auto j = i + rng.next_below(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+    const auto start = static_cast<std::uint32_t>(
+        rng.next_below(static_cast<std::uint64_t>(max_round) + 1));
+    const auto len =
+        static_cast<std::uint32_t>(1 + rng.next_below(max_len));
+    plan.outages.push_back({edges[i], start, start + len});
+  }
+}
+
+}  // namespace dasched

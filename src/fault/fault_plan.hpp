@@ -1,0 +1,79 @@
+// Fault plans: the declarative description of how the network misbehaves.
+//
+// The paper's model (and everything the schedulers guarantee) assumes a
+// perfectly reliable synchronous CONGEST network. A FaultPlan describes a
+// deviation from that ideal:
+//
+//   * per-transmission message drops   -- iid Bernoulli(drop_rate),
+//   * per-delivery duplication         -- iid Bernoulli(duplicate_rate),
+//   * link outages                     -- an undirected edge transmits nothing
+//                                         during a big-round interval,
+//   * crash-stop node failures         -- a node executes no scheduled event
+//                                         from its crash big-round onward and
+//                                         never produces an output.
+//
+// A plan is pure data plus a seed. All randomness derived from it (the
+// FaultInjector's per-message decisions, the random-crash/outage generators
+// below) is a deterministic function of that seed, so every faulty run is
+// exactly reproducible -- and, because per-message decisions are keyed on
+// message identity rather than drawn from shared mutable RNG state, the
+// realized faults are independent of executor thread count and processing
+// order. See docs/FAULTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dasched {
+
+/// Crash round for nodes that never crash.
+inline constexpr std::uint32_t kNoCrash = ~std::uint32_t{0};
+
+/// An undirected edge delivers nothing (either direction) during big-rounds
+/// [from_round, until_round).
+struct LinkOutage {
+  EdgeId edge = kInvalidEdge;
+  std::uint32_t from_round = 0;
+  std::uint32_t until_round = 0;
+};
+
+/// Crash-stop failure: the node executes no event at big-round >= at_round.
+struct NodeCrash {
+  NodeId node = kInvalidNode;
+  std::uint32_t at_round = 0;
+};
+
+struct FaultPlan {
+  /// Seed for every fault decision derived from this plan.
+  std::uint64_t seed = 1;
+  /// Probability that one transmission attempt is lost (iid per attempt, so
+  /// retransmissions redraw).
+  double drop_rate = 0.0;
+  /// Probability that a successfully delivered message arrives twice.
+  double duplicate_rate = 0.0;
+  std::vector<LinkOutage> outages;
+  std::vector<NodeCrash> crashes;
+
+  bool any_faults() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || !outages.empty() ||
+           !crashes.empty();
+  }
+};
+
+/// Appends `count` crash-stop failures at distinct nodes not already crashed
+/// in the plan, with crash rounds uniform in [0, max_round]. Node choice and
+/// rounds are a deterministic function of (plan.seed, count, max_round).
+/// count is clamped to the number of crash-free nodes.
+void add_random_crashes(FaultPlan& plan, NodeId num_nodes, std::uint32_t count,
+                        std::uint32_t max_round);
+
+/// Appends `count` link outages on distinct random edges of `g`; each starts
+/// uniformly in [0, max_round] and lasts 1..max_len big-rounds. Deterministic
+/// in (plan.seed, count, max_round, max_len). count is clamped to the number
+/// of edges.
+void add_random_outages(FaultPlan& plan, const Graph& g, std::uint32_t count,
+                        std::uint32_t max_round, std::uint32_t max_len);
+
+}  // namespace dasched

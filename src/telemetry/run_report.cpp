@@ -4,6 +4,7 @@
 
 #include "telemetry/json.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "util/check.hpp"
 
 namespace dasched {
 
@@ -37,6 +38,14 @@ void RunReport::set_meta(std::string_view key, double value) {
 }
 
 void RunReport::add_table(const Table& table) { tables_.push_back(table); }
+
+void RunReport::add_series(Series series) {
+  for (const auto& point : series.points) {
+    DASCHED_CHECK_MSG(point.size() == series.columns.size(),
+                      "series point width does not match its columns");
+  }
+  series_.push_back(std::move(series));
+}
 
 void RunReport::attach_metrics(const MetricsRegistry& metrics, bool include_samples) {
   telemetry_json_ = metrics.to_json(include_samples);
@@ -78,6 +87,29 @@ void RunReport::write(std::ostream& os) const {
     w.end_object();
   }
   w.end_array();
+
+  if (!series_.empty()) {
+    w.key("series");
+    w.begin_array();
+    for (const auto& s : series_) {
+      w.begin_object();
+      w.kv("name", std::string_view(s.name));
+      w.key("columns");
+      w.begin_array();
+      for (const auto& c : s.columns) w.value(std::string_view(c));
+      w.end_array();
+      w.key("points");
+      w.begin_array();
+      for (const auto& point : s.points) {
+        w.begin_array();
+        for (const auto v : point) w.value(v);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
 
   if (!telemetry_json_.empty()) {
     w.key("telemetry");

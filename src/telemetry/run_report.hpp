@@ -2,13 +2,18 @@
 // tables the benches and the CLI print. A report collects
 //   * metadata       -- instance parameters (graph family, n, k, seed, ...),
 //   * tables         -- every experiment Table, serialized cell-for-cell,
+//   * series         -- named numeric point sets (sweep curves: each point is
+//                       one value per column), for plots and diffing without
+//                       re-parsing formatted table cells,
 //   * telemetry      -- a MetricsRegistry snapshot (optional),
 // and writes one JSON document:
 //   {
 //     "schema": "dasched.run_report.v1",
 //     "meta":   { "<key>": <string|number>, ... },
 //     "tables": [ { "title": ..., "columns": [...], "rows": [[...], ...] } ],
-//     "telemetry": { ...MetricsRegistry snapshot... }?   // if attached
+//     "series": [ { "name": ..., "columns": [...],
+//                   "points": [[<number>, ...], ...] } ],   // if any
+//     "telemetry": { ...MetricsRegistry snapshot... }?      // if attached
 //   }
 // This is what `--report out.json` produces from every bench binary and from
 // examples/dasched_cli, making BENCH_*.json artifacts reproducible instead of
@@ -29,6 +34,14 @@ class MetricsRegistry;
 
 class RunReport {
  public:
+  /// A named set of numeric points (a sweep curve). Every point must have
+  /// exactly one value per column; add_series checks this.
+  struct Series {
+    std::string name;
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> points;
+  };
+
   void set_meta(std::string_view key, std::string_view value);
   void set_meta(std::string_view key, const char* value) {
     set_meta(key, std::string_view(value));
@@ -41,14 +54,19 @@ class RunReport {
   /// Copies the table (title, columns, rows) into the report.
   void add_table(const Table& table);
 
+  /// Adds a numeric sweep series (see the schema above).
+  void add_series(Series series);
+
   /// Embeds a snapshot of `metrics` taken now (include_samples controls
   /// whether full histogram sample lists are written).
   void attach_metrics(const MetricsRegistry& metrics, bool include_samples = true);
 
   bool empty() const {
-    return meta_.empty() && tables_.empty() && telemetry_json_.empty();
+    return meta_.empty() && tables_.empty() && series_.empty() &&
+           telemetry_json_.empty();
   }
   std::size_t num_tables() const { return tables_.size(); }
+  std::size_t num_series() const { return series_.size(); }
 
   void write(std::ostream& os) const;
   bool write_file(const std::string& path) const;
@@ -62,6 +80,7 @@ class RunReport {
   };
   std::vector<MetaEntry> meta_;
   std::vector<Table> tables_;
+  std::vector<Series> series_;
   std::string telemetry_json_;  // pre-rendered snapshot, "" if none
 };
 

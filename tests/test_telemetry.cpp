@@ -276,6 +276,40 @@ TEST(RunReport, WritesSchemaMetaTablesAndTelemetry) {
   EXPECT_DOUBLE_EQ(doc->get("telemetry")->get("counters")->get("c")->number, 9.0);
 }
 
+TEST(RunReport, SeriesRoundTripsThroughJson) {
+  RunReport report;
+  EXPECT_EQ(report.num_series(), 0u);
+
+  RunReport::Series s;
+  s.name = "e12.fault_sweep";
+  s.columns = {"drop_rate", "lost"};
+  s.points = {{0.01, 3.0}, {0.05, 17.0}};
+  report.add_series(std::move(s));
+  EXPECT_EQ(report.num_series(), 1u);
+  EXPECT_FALSE(report.empty());
+
+  std::ostringstream oss;
+  report.write(oss);
+  const auto doc = json::parse(oss.str());
+  ASSERT_NE(doc, nullptr) << oss.str();
+  const auto* series = doc->get("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array.size(), 1u);
+  EXPECT_EQ(series->array[0]->get("name")->string, "e12.fault_sweep");
+  EXPECT_EQ(series->array[0]->get("columns")->array[1]->string, "lost");
+  const auto* points = series->array[0]->get("points");
+  ASSERT_EQ(points->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(points->array[1]->array[0]->number, 0.05);
+  EXPECT_DOUBLE_EQ(points->array[1]->array[1]->number, 17.0);
+
+  // A report without series omits the key entirely (schema stability).
+  RunReport bare;
+  bare.set_meta("x", std::uint64_t{1});
+  std::ostringstream bare_os;
+  bare.write(bare_os);
+  EXPECT_EQ(bare_os.str().find("\"series\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Instrumented executions: metrics must match ExecutionResult exactly, and a
 // null sink must not change the execution.
