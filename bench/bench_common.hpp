@@ -24,15 +24,13 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <limits>
 #include <string>
 
+#include "util/flags.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/run_report.hpp"
@@ -115,15 +113,10 @@ inline bool consume_report_flags(int* argc, char** argv) {
         return false;
       }
       const char* arg = argv[++i];
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long v = std::strtoul(arg, &end, 10);
-      if (*arg == '\0' || *arg == '-' || end == arg || *end != '\0' ||
-          errno == ERANGE || v > std::numeric_limits<std::uint32_t>::max()) {
+      if (!parse_flag_u32(arg, &s.num_threads)) {
         std::fprintf(stderr, "--threads: invalid count '%s'\n", arg);
         return false;
       }
-      s.num_threads = static_cast<std::uint32_t>(v);
     } else {
       argv[write++] = argv[i];
     }

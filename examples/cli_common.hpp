@@ -1,0 +1,83 @@
+// Shared pieces of the CLI drivers (dasched_cli, dasched_lint): validated
+// flag parsing on top of util/flags.hpp, and the instance builders mapping
+// --graph / --workload names to generators. Both binaries accept the same
+// instance flags, so an instance that executes under dasched_cli can be
+// statically verified by dasched_lint unchanged.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "sched/problem.hpp"
+#include "sched/workloads.hpp"
+#include "util/flags.hpp"
+
+namespace dasched::cli {
+
+inline std::uint64_t parse_u64_or_exit(const char* s, const char* flag) {
+  std::uint64_t v = 0;
+  if (!parse_flag_u64(s, &v)) {
+    std::fprintf(stderr, "%s: invalid number '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+inline std::uint32_t parse_u32_or_exit(const char* s, const char* flag) {
+  std::uint32_t v = 0;
+  if (!parse_flag_u32(s, &v)) {
+    std::fprintf(stderr, "%s: invalid number '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+inline double parse_prob_or_exit(const char* s, const char* flag) {
+  double v = 0.0;
+  if (!parse_flag_prob(s, &v)) {
+    std::fprintf(stderr, "%s: expected a probability in [0, 1], got '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Builds the graph family named by --graph; exits with usage code 2 on an
+/// unknown name.
+inline Graph make_graph(const std::string& family, NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "gnp") return make_gnp_connected(n, 6.0 / n, rng);
+  if (family == "grid") {
+    const auto side = static_cast<NodeId>(std::lround(std::sqrt(n)));
+    return make_grid(side, side);
+  }
+  if (family == "torus") {
+    const auto side = static_cast<NodeId>(std::lround(std::sqrt(n)));
+    return make_grid(side, side, true);
+  }
+  if (family == "path") return make_path(n);
+  if (family == "cycle") return make_cycle(n);
+  if (family == "tree") return make_binary_tree(n);
+  if (family == "regular") return make_random_regular(n, 4, rng);
+  std::fprintf(stderr, "unknown graph family '%s'\n", family.c_str());
+  std::exit(2);
+}
+
+/// Builds the workload named by --workload; exits with usage code 2 on an
+/// unknown name.
+inline std::unique_ptr<ScheduleProblem> make_problem(const Graph& g,
+                                                     const std::string& workload,
+                                                     std::size_t k, std::uint32_t radius,
+                                                     std::uint64_t seed) {
+  if (workload == "mixed") return make_mixed_workload(g, k, radius, seed);
+  if (workload == "broadcast") return make_broadcast_workload(g, k, radius, seed);
+  if (workload == "bfs") return make_bfs_workload(g, k, radius, seed);
+  if (workload == "routing") return make_routing_workload(g, k, seed);
+  std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+  std::exit(2);
+}
+
+}  // namespace dasched::cli

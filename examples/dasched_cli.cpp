@@ -2,6 +2,7 @@
 //
 //   dasched_cli [--graph FAMILY] [--n N] [--k K] [--radius R]
 //               [--workload KIND] [--scheduler NAME] [--seed S] [--threads T]
+//               [--verify]
 //               [--fault-seed S] [--drop-rate P] [--dup-rate P] [--crash K]
 //               [--outages K] [--retries R]
 //               [--report OUT.json] [--trace OUT.trace.json]
@@ -32,20 +33,28 @@
 // --threads T runs the shared/private scheduled executions on T worker
 // threads (0 = serial, the default). Results are bit-identical for every
 // value; see docs/PERFORMANCE.md.
-#include <cerrno>
+//
+// --verify statically checks every executed schedule with
+// verify::check_schedule (docs/VERIFICATION.md): the schedulers table gains a
+// "verify" column, per-scheduler findings tables are printed, findings are
+// merged into the --report `findings` section, and the exit status is nonzero
+// when any error-severity finding is raised. With --retries R the
+// retry-stretched schedule is additionally verified with the 2^R headroom
+// invariant (the static form of the stretch lemma in docs/FAULTS.md).
 #include <cstdio>
 #include <cstdlib>
-#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cli_common.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/reliable.hpp"
 #include "fault/robustness.hpp"
 #include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 #include "sched/baseline.hpp"
 #include "sched/doubling.hpp"
 #include "sched/global_sharing.hpp"
@@ -57,6 +66,7 @@
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/run_report.hpp"
 #include "util/table.hpp"
+#include "verify/schedule_verifier.hpp"
 
 namespace {
 
@@ -71,6 +81,7 @@ struct Options {
   std::string scheduler = "all";
   std::uint64_t seed = 1;
   std::uint32_t threads = 0;  // executor workers; 0 = serial
+  bool verify_schedules = false;  // --verify: static checks on every schedule
   std::string report_path;    // --report: structured JSON run report
   std::string trace_path;     // --trace: Chrome trace_event JSON
 
@@ -92,34 +103,11 @@ struct Options {
                "usage: %s [--graph gnp|grid|torus|path|cycle|tree|regular] [--n N]\n"
                "          [--k K] [--radius R] [--workload mixed|broadcast|bfs|routing]\n"
                "          [--scheduler all|sequential|greedy|shared|private|global|doubling]\n"
-               "          [--seed S] [--threads T] [--fault-seed S] [--drop-rate P]\n"
-               "          [--dup-rate P] [--crash K] [--outages K] [--retries R]\n"
-               "          [--report OUT.json] [--trace OUT.trace.json]\n",
+               "          [--seed S] [--threads T] [--verify] [--fault-seed S]\n"
+               "          [--drop-rate P] [--dup-rate P] [--crash K] [--outages K]\n"
+               "          [--retries R] [--report OUT.json] [--trace OUT.trace.json]\n",
                argv0);
   std::exit(2);
-}
-
-std::uint64_t parse_u64(const char* s, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (*s == '\0' || *s == '-' || end == s || *end != '\0' || errno == ERANGE) {
-    std::fprintf(stderr, "%s: invalid number '%s'\n", flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
-double parse_prob(const char* s, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s, &end);
-  if (*s == '\0' || end == s || *end != '\0' || errno == ERANGE || v < 0.0 ||
-      v > 1.0) {
-    std::fprintf(stderr, "%s: expected a probability in [0, 1], got '%s'\n", flag, s);
-    std::exit(2);
-  }
-  return v;
 }
 
 Options parse(int argc, char** argv) {
@@ -130,34 +118,36 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (const char* v = need("--graph")) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      opt.verify_schedules = true;
+    } else if (const char* v = need("--graph")) {
       opt.graph = v;
     } else if (const char* v2 = need("--n")) {
-      opt.n = static_cast<NodeId>(std::atoi(v2));
+      opt.n = cli::parse_u32_or_exit(v2, "--n");
     } else if (const char* v3 = need("--k")) {
-      opt.k = static_cast<std::size_t>(std::atoi(v3));
+      opt.k = cli::parse_u64_or_exit(v3, "--k");
     } else if (const char* v4 = need("--radius")) {
-      opt.radius = static_cast<std::uint32_t>(std::atoi(v4));
+      opt.radius = cli::parse_u32_or_exit(v4, "--radius");
     } else if (const char* v5 = need("--workload")) {
       opt.workload = v5;
     } else if (const char* v6 = need("--scheduler")) {
       opt.scheduler = v6;
     } else if (const char* v7 = need("--seed")) {
-      opt.seed = std::strtoull(v7, nullptr, 10);
+      opt.seed = cli::parse_u64_or_exit(v7, "--seed");
     } else if (const char* vt = need("--threads")) {
-      opt.threads = static_cast<std::uint32_t>(std::atoi(vt));
+      opt.threads = cli::parse_u32_or_exit(vt, "--threads");
     } else if (const char* vfs = need("--fault-seed")) {
-      opt.fault_seed = parse_u64(vfs, "--fault-seed");
+      opt.fault_seed = cli::parse_u64_or_exit(vfs, "--fault-seed");
     } else if (const char* vdr = need("--drop-rate")) {
-      opt.drop_rate = parse_prob(vdr, "--drop-rate");
+      opt.drop_rate = cli::parse_prob_or_exit(vdr, "--drop-rate");
     } else if (const char* vdu = need("--dup-rate")) {
-      opt.dup_rate = parse_prob(vdu, "--dup-rate");
+      opt.dup_rate = cli::parse_prob_or_exit(vdu, "--dup-rate");
     } else if (const char* vcr = need("--crash")) {
-      opt.crash = static_cast<std::uint32_t>(parse_u64(vcr, "--crash"));
+      opt.crash = cli::parse_u32_or_exit(vcr, "--crash");
     } else if (const char* vou = need("--outages")) {
-      opt.outages = static_cast<std::uint32_t>(parse_u64(vou, "--outages"));
+      opt.outages = cli::parse_u32_or_exit(vou, "--outages");
     } else if (const char* vre = need("--retries")) {
-      opt.retries = static_cast<std::uint32_t>(parse_u64(vre, "--retries"));
+      opt.retries = cli::parse_u32_or_exit(vre, "--retries");
     } else if (const char* v8 = need("--report")) {
       opt.report_path = v8;
     } else if (const char* v9 = need("--trace")) {
@@ -170,32 +160,11 @@ Options parse(int argc, char** argv) {
 }
 
 Graph make_graph(const Options& opt) {
-  Rng rng(opt.seed);
-  if (opt.graph == "gnp") return make_gnp_connected(opt.n, 6.0 / opt.n, rng);
-  if (opt.graph == "grid") {
-    const auto side = static_cast<NodeId>(std::lround(std::sqrt(opt.n)));
-    return make_grid(side, side);
-  }
-  if (opt.graph == "torus") {
-    const auto side = static_cast<NodeId>(std::lround(std::sqrt(opt.n)));
-    return make_grid(side, side, true);
-  }
-  if (opt.graph == "path") return make_path(opt.n);
-  if (opt.graph == "cycle") return make_cycle(opt.n);
-  if (opt.graph == "tree") return make_binary_tree(opt.n);
-  if (opt.graph == "regular") return make_random_regular(opt.n, 4, rng);
-  std::fprintf(stderr, "unknown graph family '%s'\n", opt.graph.c_str());
-  std::exit(2);
+  return cli::make_graph(opt.graph, opt.n, opt.seed);
 }
 
 std::unique_ptr<ScheduleProblem> make_problem(const Graph& g, const Options& opt) {
-  if (opt.workload == "mixed") return make_mixed_workload(g, opt.k, opt.radius, opt.seed);
-  if (opt.workload == "broadcast")
-    return make_broadcast_workload(g, opt.k, opt.radius, opt.seed);
-  if (opt.workload == "bfs") return make_bfs_workload(g, opt.k, opt.radius, opt.seed);
-  if (opt.workload == "routing") return make_routing_workload(g, opt.k, opt.seed);
-  std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
-  std::exit(2);
+  return cli::make_problem(g, opt.workload, opt.k, opt.radius, opt.seed);
 }
 
 }  // namespace
@@ -220,22 +189,47 @@ int main(int argc, char** argv) {
               probe->dilation(), probe->trivial_lower_bound());
 
   Table table("schedulers");
-  table.set_header({"scheduler", "schedule rounds", "pre rounds", "correct"});
+  table.set_header({"scheduler", "schedule rounds", "pre rounds", "correct", "verify"});
   auto want = [&](const char* name) {
     return opt.scheduler == "all" || opt.scheduler == name;
+  };
+
+  // Static verification (--verify): per-scheduler findings, merged into the
+  // run report and summed into the exit status.
+  std::vector<std::pair<std::string, verify::Report>> verify_reports;
+  std::uint64_t verify_errors = 0;
+  auto verify_cell = [&](const char* name, ScheduleProblem& p,
+                         const ScheduleTable& sched,
+                         verify::VerifyOptions vopts) -> std::string {
+    if (!opt.verify_schedules) return "-";
+    vopts.telemetry = sink;
+    auto vr = verify::check_schedule(p, sched, vopts);
+    const std::string cell =
+        vr.ok() ? "clean" : Table::fmt(vr.errors()) + " errors";
+    verify_errors += vr.errors();
+    verify_reports.emplace_back(name, std::move(vr));
+    return cell;
   };
 
   if (want("sequential")) {
     auto p = make_problem(g, opt);
     const auto out = SequentialScheduler{}.run(*p);
+    verify::VerifyOptions vopts;
+    vopts.congestion_budget = 1;  // one physical round per big-round
+    vopts.phase_len = 1;
     table.add_row({"sequential", Table::fmt(out.schedule_rounds), "0",
-                   p->verify(out.exec).ok() ? "yes" : "NO"});
+                   p->verify(out.exec).ok() ? "yes" : "NO",
+                   verify_cell("sequential", *p, out.schedule, vopts)});
   }
   if (want("greedy")) {
     auto p = make_problem(g, opt);
     const auto out = GreedyScheduler{}.run(*p);
+    verify::VerifyOptions vopts;
+    vopts.congestion_budget = 1;
+    vopts.phase_len = 1;
     table.add_row({"greedy", Table::fmt(out.schedule_rounds), "0",
-                   p->verify(out.exec).ok() ? "yes" : "NO"});
+                   p->verify(out.exec).ok() ? "yes" : "NO",
+                   verify_cell("greedy", *p, out.schedule, vopts)});
   }
   if (want("shared")) {
     auto p = make_problem(g, opt);
@@ -244,8 +238,11 @@ int main(int argc, char** argv) {
     cfg.num_threads = opt.threads;
     cfg.telemetry = sink;
     const auto out = SharedRandomnessScheduler(cfg).run(*p);
+    verify::VerifyOptions vopts;
+    vopts.phase_len = out.phase_len;  // congestion is w.h.p., so measure only
     table.add_row({"shared (Thm 1.1)", Table::fmt(out.schedule_rounds), "0",
-                   p->verify(out.exec).ok() ? "yes" : "NO"});
+                   p->verify(out.exec).ok() ? "yes" : "NO",
+                   verify_cell("shared", *p, out.schedule, vopts)});
   }
   if (want("private")) {
     auto p = make_problem(g, opt);
@@ -254,25 +251,36 @@ int main(int argc, char** argv) {
     cfg.num_threads = opt.threads;
     cfg.telemetry = sink;
     const auto out = PrivateRandomnessScheduler(cfg).run(*p);
+    verify::VerifyOptions vopts;
+    vopts.phase_len = out.phase_len;
+    vopts.delay_support = out.delay_support;  // Lemma 4.4 block membership
+    vopts.check_delay_monotonic = true;
     table.add_row({"private (Thm 4.1)", Table::fmt(out.schedule_rounds),
                    Table::fmt(out.precomputation_rounds),
-                   (p->verify(out.exec).ok() && out.uncovered_nodes == 0) ? "yes" : "NO"});
+                   (p->verify(out.exec).ok() && out.uncovered_nodes == 0) ? "yes" : "NO",
+                   verify_cell("private", *p, out.schedule, vopts)});
   }
   if (want("global")) {
     auto p = make_problem(g, opt);
     GlobalSharingConfig cfg;
     cfg.seed = opt.seed;
     const auto out = GlobalSharingScheduler(cfg).run(*p);
+    verify::VerifyOptions vopts;
+    vopts.phase_len = out.schedule.phase_len;
     table.add_row({"global sharing", Table::fmt(out.schedule.schedule_rounds),
                    Table::fmt(out.precomputation_rounds),
                    (p->verify(out.schedule.exec).ok() && out.sharing_complete) ? "yes"
-                                                                               : "NO"});
+                                                                               : "NO",
+                   verify_cell("global", *p, out.schedule.schedule, vopts)});
   }
   if (want("doubling")) {
     auto p = make_problem(g, opt);
     const auto out = run_with_doubling(*p);
+    verify::VerifyOptions vopts;
+    vopts.phase_len = out.final.phase_len;
     table.add_row({"doubling (unknown C)", Table::fmt(out.total_rounds), "0",
-                   p->verify(out.final.exec).ok() ? "yes" : "NO"});
+                   p->verify(out.final.exec).ok() ? "yes" : "NO",
+                   verify_cell("doubling", *p, out.final.schedule, vopts)});
   }
   table.print(std::cout);
 
@@ -339,7 +347,19 @@ int main(int argc, char** argv) {
       const std::string label = "retries=" + std::to_string(opt.retries) +
                                 " (stretch x" +
                                 std::to_string(policy.stretch_factor()) + ")";
-      (void)fault_row(label.c_str(), stretch_for_retries(schedule, policy), policy);
+      const auto stretched = stretch_for_retries(schedule, policy);
+      (void)fault_row(label.c_str(), stretched, policy);
+      if (opt.verify_schedules) {
+        // Static re-proof of the stretch lemma: on the stretched schedule
+        // every consumer must land >= 2^R big-rounds after its producer.
+        verify::VerifyOptions vopts;
+        vopts.phase_len = phase_len;
+        vopts.retry_budget = opt.retries;
+        vopts.telemetry = sink;
+        auto vr = verify::check_schedule(*p, stretched, vopts);
+        verify_errors += vr.errors();
+        verify_reports.emplace_back("shared+retries", std::move(vr));
+      }
     }
     std::printf("\n");
     fault_table.print(std::cout);
@@ -349,6 +369,19 @@ int main(int argc, char** argv) {
     slack_table = slack.to_table("schedule slack (no-retries run, phase_len = " +
                                  std::to_string(phase_len) + ")");
     slack_table.print(std::cout);
+  }
+
+  if (opt.verify_schedules) {
+    std::printf("\n");
+    for (const auto& [name, vr] : verify_reports) {
+      vr.to_table("verify: " + name).print(std::cout);
+    }
+    if (verify_errors > 0) {
+      std::printf("verify: %llu error finding(s) -- see tables above\n",
+                  static_cast<unsigned long long>(verify_errors));
+    } else {
+      std::printf("verify: all schedules clean\n");
+    }
   }
 
   int rc = 0;
@@ -376,6 +409,9 @@ int main(int argc, char** argv) {
       report.add_table(fault_table);
       report.add_table(slack_table);
     }
+    for (const auto& [name, vr] : verify_reports) {
+      vr.to_run_report(report, "sched=" + name);
+    }
     report.attach_metrics(metrics);
     if (report.write_file(opt.report_path)) {
       std::printf("\nreport written to %s\n", opt.report_path.c_str());
@@ -393,5 +429,6 @@ int main(int argc, char** argv) {
       rc = 1;
     }
   }
+  if (verify_errors > 0) rc = 1;
   return rc;
 }

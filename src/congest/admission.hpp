@@ -1,0 +1,39 @@
+// Schedule admission: a pre-execution gate the executor consults before
+// running a schedule.
+//
+// The gate is an abstract interface so the low-level engine (src/congest/)
+// does not depend on the static-analysis layer that implements the real
+// verifier (src/verify/ -- which in turn needs sched/problem.hpp for solo
+// patterns and congestion). Production posture per the ROADMAP: bad schedules
+// should be *rejected at admission time*, not discovered mid-run; the
+// executor treats a rejection as a hard contract violation and aborts, so a
+// gated run either executes a proven schedule or does not execute at all.
+//
+// The gate only observes the schedule -- it must not mutate anything the
+// execution reads -- so a run with a (passing) gate is bit-identical to a run
+// without one, and a null ExecConfig::admission leaves the executor
+// byte-for-byte the ungated engine (pinned by the golden-fingerprint test in
+// tests/test_fault.cpp).
+#pragma once
+
+#include <span>
+
+#include "congest/program.hpp"
+#include "congest/schedule_table.hpp"
+
+namespace dasched {
+
+class ScheduleAdmission {
+ public:
+  virtual ~ScheduleAdmission() = default;
+
+  /// Inspects `schedule` for the given algorithms before any event executes.
+  /// Returns true to admit; false to reject (the executor then aborts with a
+  /// contract failure). Implementations may record diagnostics as a side
+  /// effect (see verify::VerifyingAdmission), but must not mutate state the
+  /// execution depends on.
+  virtual bool admit(std::span<const DistributedAlgorithm* const> algorithms,
+                     const ScheduleTable& schedule) const = 0;
+};
+
+}  // namespace dasched

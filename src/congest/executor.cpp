@@ -15,7 +15,7 @@ std::uint64_t ExecutionResult::adaptive_physical_rounds() const {
 }
 
 ExecutionResult::FixedPhase ExecutionResult::fixed_phase(std::uint32_t phase_len) const {
-  DASCHED_CHECK(phase_len >= 1);
+  DASCHED_CHECK_GE(phase_len, 1u);
   FixedPhase result{0, 0};
   result.physical_rounds =
       static_cast<std::uint64_t>(num_big_rounds) * phase_len;
@@ -113,15 +113,24 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                               const ScheduleTable& schedule) {
   const std::size_t k = algorithms.size();
   const NodeId n = graph_.num_nodes();
-  DASCHED_CHECK_MSG(schedule.num_algorithms() == k && schedule.num_nodes() == n,
-                    "schedule table does not match the problem dimensions");
+  DASCHED_CHECK_EQ(schedule.num_algorithms(), k,
+                   "schedule table does not match the problem dimensions");
+  DASCHED_CHECK_EQ(schedule.num_nodes(), n,
+                   "schedule table does not match the problem dimensions");
+
+  // --- Admission gate: consulted once, before any event executes. A null
+  // gate costs nothing; a rejection is a hard contract failure. ---
+  if (cfg_.admission != nullptr) {
+    DASCHED_CHECK_MSG(cfg_.admission->admit(algorithms, schedule),
+                      "schedule rejected by the admission gate");
+  }
 
   // --- Validate the schedule and count events. ---
   std::uint32_t max_big_round = 0;
   std::uint64_t total_events = 0;
   for (std::size_t a = 0; a < k; ++a) {
-    DASCHED_CHECK_MSG(schedule.rounds(a) == algorithms[a]->rounds(),
-                      "schedule table does not match the algorithm round counts");
+    DASCHED_CHECK_EQ(schedule.rounds(a), algorithms[a]->rounds(),
+                     "schedule table does not match the algorithm round counts");
     for (NodeId v = 0; v < n; ++v) {
       const auto slots = schedule.row(a, v);
       std::uint32_t prev = 0;
@@ -251,8 +260,8 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       return;
     }
     auto& prog_progress = progress[ev.alg][ev.node];
-    DASCHED_CHECK_MSG(prog_progress + 1 == ev.vround,
-                      "executor: out-of-order virtual round");
+    DASCHED_CHECK_EQ(prog_progress + 1, ev.vround,
+                     "executor: out-of-order virtual round");
     prog_progress = ev.vround;
 
     std::vector<VMessage>* in_bucket = nullptr;
@@ -427,8 +436,8 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     for (const auto d : touched_edges) {
       max_load = std::max(max_load, edge_count[d]);
       if (cfg_.enforce_unit_capacity) {
-        DASCHED_CHECK_MSG(edge_count[d] <= 1,
-                          "CONGEST bandwidth violated: >1 message per edge per round");
+        DASCHED_CHECK_LE(edge_count[d], 1u,
+                         "CONGEST bandwidth violated: >1 message per edge per round");
       }
       if (telemetry != nullptr) {
         telemetry->record_value("executor.edge_load", edge_count[d]);

@@ -51,6 +51,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/admission.hpp"
 #include "congest/message.hpp"
 #include "congest/pattern.hpp"
 #include "congest/program.hpp"
@@ -105,6 +106,14 @@ struct ExecConfig {
   /// original big-rounds -- then every retransmission lands strictly before
   /// the consumers that depend on it (fault/reliable.hpp).
   RetryPolicy retry;
+  /// Optional pre-execution admission gate (borrowed; must outlive the run).
+  /// Null -- the default -- skips the gate entirely and the engine is
+  /// byte-for-byte the ungated executor. When set, `admit()` is consulted
+  /// once before any event executes; a rejection is a hard contract failure
+  /// (the executor aborts). Pass a verify::VerifyingAdmission to statically
+  /// prove the paper's schedule invariants at admission time
+  /// (docs/VERIFICATION.md).
+  const ScheduleAdmission* admission = nullptr;
 };
 
 struct ExecutionResult {

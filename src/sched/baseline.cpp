@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -19,8 +20,9 @@ BaselineOutcome SequentialScheduler::run(ScheduleProblem& problem) const {
   cfg.enforce_unit_capacity = true;  // one algorithm at a time: solo bandwidth holds
   Executor executor(problem.graph(), cfg);
   BaselineOutcome out;
-  out.exec = executor.run(
-      algos, ScheduleTable::from_delays(algos, problem.graph().num_nodes(), offsets));
+  out.schedule =
+      ScheduleTable::from_delays(algos, problem.graph().num_nodes(), offsets);
+  out.exec = executor.run(algos, out.schedule);
   out.schedule_rounds = out.exec.num_big_rounds;
   return out;
 }
@@ -181,7 +183,8 @@ BaselineOutcome GreedyScheduler::run(ScheduleProblem& problem) const {
   cfg.enforce_unit_capacity = true;
   Executor executor(g, cfg);
   BaselineOutcome out;
-  out.exec = executor.run(algos, exec_time);
+  out.schedule = std::move(exec_time);
+  out.exec = executor.run(algos, out.schedule);
   out.schedule_rounds = out.exec.num_big_rounds;
   return out;
 }

@@ -28,6 +28,9 @@ struct BaselineOutcome {
   ExecutionResult exec;
   /// Schedule length in physical rounds (big-round == physical round here).
   std::uint64_t schedule_rounds = 0;
+  /// The executed table (one physical round per big-round), for static
+  /// verification (verify::check_schedule with congestion_budget = 1).
+  ScheduleTable schedule;
 };
 
 class SequentialScheduler {

@@ -190,9 +190,10 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
   ecfg.telemetry = telemetry;
   ecfg.num_threads = cfg_.num_threads;
   Executor executor(g, ecfg);
+  out.schedule = std::move(exec_time);
   {
     TimedSpan exec_span(telemetry, "sched.private", "execute");
-    out.exec = executor.run(algos, exec_time);
+    out.exec = executor.run(algos, out.schedule);
   }
 
   out.phase_len = cfg_.phase_len > 0

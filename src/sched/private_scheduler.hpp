@@ -80,6 +80,9 @@ struct PrivateScheduleOutcome {
   ExecutionResult::FixedPhase fixed{};
   std::uint32_t phase_len = 0;
   std::uint32_t delay_support = 0;  // big-rounds of delay range
+  /// The executed big-round table (earliest eligible layer per slot), for
+  /// static verification (verify::check_schedule with this delay_support).
+  ScheduleTable schedule;
 
   // Clustering diagnostics (the Lemma 4.2 guarantees).
   std::uint32_t num_layers = 0;

@@ -63,11 +63,11 @@ SharedScheduleOutcome SharedRandomnessScheduler::run(ScheduleProblem& problem) c
   ecfg.num_threads = cfg_.num_threads;
   Executor executor(problem.graph(), ecfg);
   const auto algos = problem.algorithm_ptrs();
+  out.schedule =
+      ScheduleTable::from_delays(algos, problem.graph().num_nodes(), out.delays);
   {
     TimedSpan exec_span(cfg_.telemetry, "sched.shared", "execute");
-    out.exec = executor.run(
-        algos, ScheduleTable::from_delays(algos, problem.graph().num_nodes(),
-                                          out.delays));
+    out.exec = executor.run(algos, out.schedule);
   }
 
   out.schedule_rounds = out.exec.adaptive_physical_rounds();

@@ -52,6 +52,9 @@ struct SharedScheduleOutcome {
   std::uint64_t schedule_rounds = 0;
   /// Fixed-phase view at phase_len.
   ExecutionResult::FixedPhase fixed{};
+  /// The executed big-round table, for static verification
+  /// (verify::check_schedule).
+  ScheduleTable schedule;
 };
 
 class SharedRandomnessScheduler {

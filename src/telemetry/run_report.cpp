@@ -47,6 +47,18 @@ void RunReport::add_series(Series series) {
   series_.push_back(std::move(series));
 }
 
+void RunReport::add_finding(FindingRecord finding) {
+  findings_.push_back(std::move(finding));
+}
+
+void RunReport::add_finding_totals(std::uint64_t errors, std::uint64_t warnings,
+                                   std::uint64_t infos) {
+  have_finding_totals_ = true;
+  finding_errors_ += errors;
+  finding_warnings_ += warnings;
+  finding_infos_ += infos;
+}
+
 void RunReport::attach_metrics(const MetricsRegistry& metrics, bool include_samples) {
   telemetry_json_ = metrics.to_json(include_samples);
 }
@@ -109,6 +121,32 @@ void RunReport::write(std::ostream& os) const {
       w.end_object();
     }
     w.end_array();
+  }
+
+  if (!findings_.empty() || have_finding_totals_) {
+    w.key("findings");
+    w.begin_object();
+    w.kv("errors", static_cast<double>(finding_errors_));
+    w.kv("warnings", static_cast<double>(finding_warnings_));
+    w.kv("infos", static_cast<double>(finding_infos_));
+    w.key("items");
+    w.begin_array();
+    for (const auto& f : findings_) {
+      w.begin_object();
+      w.kv("severity", std::string_view(f.severity));
+      w.kv("code", std::string_view(f.code));
+      w.kv("location", std::string_view(f.location));
+      w.kv("message", std::string_view(f.message));
+      if (!f.metrics.empty()) {
+        w.key("metrics");
+        w.begin_object();
+        for (const auto& [key, value] : f.metrics) w.kv(key, value);
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
   }
 
   if (!telemetry_json_.empty()) {

@@ -5,6 +5,8 @@
 //   * series         -- named numeric point sets (sweep curves: each point is
 //                       one value per column), for plots and diffing without
 //                       re-parsing formatted table cells,
+//   * findings       -- static-verifier diagnostics (src/verify/), each a
+//                       severity + stable code + location + message + metrics,
 //   * telemetry      -- a MetricsRegistry snapshot (optional),
 // and writes one JSON document:
 //   {
@@ -13,6 +15,9 @@
 //     "tables": [ { "title": ..., "columns": [...], "rows": [[...], ...] } ],
 //     "series": [ { "name": ..., "columns": [...],
 //                   "points": [[<number>, ...], ...] } ],   // if any
+//     "findings": { "errors": N, "warnings": N, "infos": N,  // if any
+//                   "items": [ { "severity": ..., "code": ..., "location": ...,
+//                                "message": ..., "metrics": {...} } ] },
 //     "telemetry": { ...MetricsRegistry snapshot... }?      // if attached
 //   }
 // This is what `--report out.json` produces from every bench binary and from
@@ -24,6 +29,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/table.hpp"
@@ -42,6 +48,16 @@ class RunReport {
     std::vector<std::vector<double>> points;
   };
 
+  /// One static-verifier diagnostic (verify::Finding, flattened to strings so
+  /// telemetry does not depend on the verifier).
+  struct FindingRecord {
+    std::string severity;  // "error" | "warning" | "info"
+    std::string code;      // stable catalogue id (src/verify/invariants.hpp)
+    std::string location;  // rendered location, "" if instance-wide
+    std::string message;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
   void set_meta(std::string_view key, std::string_view value);
   void set_meta(std::string_view key, const char* value) {
     set_meta(key, std::string_view(value));
@@ -57,16 +73,26 @@ class RunReport {
   /// Adds a numeric sweep series (see the schema above).
   void add_series(Series series);
 
+  /// Appends one verifier finding to the `findings` section.
+  void add_finding(FindingRecord finding);
+
+  /// Accumulates exact severity totals for the `findings` section header.
+  /// Totals may exceed the recorded items when the verifier's per-code cap
+  /// dropped findings; call once per verifier Report merged in.
+  void add_finding_totals(std::uint64_t errors, std::uint64_t warnings,
+                          std::uint64_t infos);
+
   /// Embeds a snapshot of `metrics` taken now (include_samples controls
   /// whether full histogram sample lists are written).
   void attach_metrics(const MetricsRegistry& metrics, bool include_samples = true);
 
   bool empty() const {
     return meta_.empty() && tables_.empty() && series_.empty() &&
-           telemetry_json_.empty();
+           findings_.empty() && !have_finding_totals_ && telemetry_json_.empty();
   }
   std::size_t num_tables() const { return tables_.size(); }
   std::size_t num_series() const { return series_.size(); }
+  std::size_t num_findings() const { return findings_.size(); }
 
   void write(std::ostream& os) const;
   bool write_file(const std::string& path) const;
@@ -81,6 +107,11 @@ class RunReport {
   std::vector<MetaEntry> meta_;
   std::vector<Table> tables_;
   std::vector<Series> series_;
+  std::vector<FindingRecord> findings_;
+  bool have_finding_totals_ = false;
+  std::uint64_t finding_errors_ = 0;
+  std::uint64_t finding_warnings_ = 0;
+  std::uint64_t finding_infos_ = 0;
   std::string telemetry_json_;  // pre-rendered snapshot, "" if none
 };
 

@@ -3,16 +3,37 @@
 // DASCHED_CHECK is always on (simulator correctness matters more than the last
 // few percent of speed); DASCHED_DCHECK compiles out in NDEBUG builds and is
 // meant for hot loops.
+//
+// The comparison forms DASCHED_CHECK_EQ/NE/LT/LE/GT/GE print *both operand
+// values* on failure (the plain form only prints the stringified condition),
+// which is what you want when a schedule-dimension or round-count contract
+// trips deep inside a run. Each accepts an optional trailing message:
+//   DASCHED_CHECK_EQ(schedule.rounds(a), alg->rounds(), "schedule/algorithm mismatch");
+// Operands are evaluated exactly once.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 
 namespace dasched::detail {
 
 [[noreturn]] inline void check_failed(const char* cond, const char* file, int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", cond, file, line);
   std::abort();
+}
+
+/// Streams any value the codebase compares (integers, enums via +, pointers);
+/// kept out of line of the macros so the cold path is one function call.
+template <typename A, typename B>
+[[noreturn]] void check_op_failed(const char* expr, const A& a, const B& b,
+                                  const char* file, int line,
+                                  const char* msg = nullptr) {
+  std::ostringstream os;
+  os << expr << " (" << a << " vs. " << b << ")";
+  if (msg != nullptr) os << " -- " << msg;
+  check_failed(os.str().c_str(), file, line);
 }
 
 }  // namespace dasched::detail
@@ -26,6 +47,26 @@ namespace dasched::detail {
   do {                                                                 \
     if (!(cond)) ::dasched::detail::check_failed(msg " [" #cond "]", __FILE__, __LINE__); \
   } while (false)
+
+/// Shared implementation: evaluates each operand once, prints both values on
+/// failure. The optional variadic argument is a trailing const char* message.
+#define DASCHED_CHECK_OP(op, a, b, ...)                                      \
+  do {                                                                       \
+    const auto& dasched_check_a_ = (a);                                      \
+    const auto& dasched_check_b_ = (b);                                      \
+    if (!(dasched_check_a_ op dasched_check_b_)) {                           \
+      ::dasched::detail::check_op_failed(#a " " #op " " #b, dasched_check_a_, \
+                                         dasched_check_b_, __FILE__,         \
+                                         __LINE__ __VA_OPT__(, __VA_ARGS__)); \
+    }                                                                        \
+  } while (false)
+
+#define DASCHED_CHECK_EQ(a, b, ...) DASCHED_CHECK_OP(==, a, b, __VA_ARGS__)
+#define DASCHED_CHECK_NE(a, b, ...) DASCHED_CHECK_OP(!=, a, b, __VA_ARGS__)
+#define DASCHED_CHECK_LT(a, b, ...) DASCHED_CHECK_OP(<, a, b, __VA_ARGS__)
+#define DASCHED_CHECK_LE(a, b, ...) DASCHED_CHECK_OP(<=, a, b, __VA_ARGS__)
+#define DASCHED_CHECK_GT(a, b, ...) DASCHED_CHECK_OP(>, a, b, __VA_ARGS__)
+#define DASCHED_CHECK_GE(a, b, ...) DASCHED_CHECK_OP(>=, a, b, __VA_ARGS__)
 
 #ifdef NDEBUG
 #define DASCHED_DCHECK(cond) \

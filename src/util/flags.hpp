@@ -1,0 +1,60 @@
+// Validated numeric flag parsing, shared by the CLI drivers and the bench
+// harness (bench/bench_common.hpp).
+//
+// Every numeric command-line flag in the repo goes through these helpers so
+// the strtoul endptr/errno discipline lives in exactly one place: reject
+// empty strings, leading signs on unsigned flags, trailing garbage
+// ("10abc"), out-of-range values, and (for probabilities) values outside
+// [0, 1]. Parsers return false instead of exiting so callers choose the
+// failure behavior (benches return 2, CLIs print usage).
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace dasched {
+
+/// Parses a non-negative decimal integer into *out. Returns false on empty
+/// input, a sign, trailing characters, or overflow.
+inline bool parse_flag_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// parse_flag_u64 restricted to the uint32 range.
+inline bool parse_flag_u32(const char* s, std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_flag_u64(s, &v) || v > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+/// Parses a finite decimal floating-point value into *out.
+inline bool parse_flag_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// parse_flag_double restricted to probabilities in [0, 1].
+inline bool parse_flag_prob(const char* s, double* out) {
+  double v = 0.0;
+  if (!parse_flag_double(s, &v) || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace dasched

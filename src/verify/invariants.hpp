@@ -1,0 +1,117 @@
+// The invariant catalogue of the static schedule verifier, and the options
+// that select which invariants are *enforced* (error findings) versus only
+// *measured* (info findings).
+//
+// Every correctness claim the repo previously enforced dynamically -- by
+// running the executor and comparing outputs/fingerprints -- has a static
+// counterpart here, checkable from (ScheduleTable, Problem, Graph) alone:
+//
+//   code                 paper reference                what it proves
+//   ------------------   ----------------------------   ----------------------
+//   dimension-mismatch   Section 2 (DAS instance)       table matches k, n, T_i
+//   gap                  Section 2 simulation mapping   scheduled rounds form a
+//                                                       gap-free prefix 1..p
+//   order                Section 2 simulation mapping   big-rounds strictly
+//                                                       increase per (alg, node)
+//   causality            Section 2 (simulation)         every message's consumer
+//                                                       slot strictly after its
+//                                                       producer slot
+//   missing-producer     Lemma 4.4 discard rule         a scheduled consumer
+//                                                       round whose producer
+//                                                       round was truncated
+//                                                       (discards must be
+//                                                       causally closed)
+//   retry-headroom       docs/FAULTS.md stretch lemma   with retry budget R,
+//                                                       every consumer lands
+//                                                       >= 2^R slots after its
+//                                                       producer, so all
+//                                                       retransmissions land
+//                                                       strictly before it
+//   congestion-overrun   Thm 1.1 / Lemma 3.2            per-directed-edge
+//                                                       per-big-round load
+//                                                       within the phase budget
+//   block-delay          Lemma 4.4                      implied start delays lie
+//                                                       inside the block-
+//                                                       distribution support
+//   block-monotonic      Lemma 4.4                      implied delays are
+//                                                       non-decreasing in the
+//                                                       virtual round (the
+//                                                       eligible-layer prefix
+//                                                       only shrinks)
+//   length-budget        Thm 1.1                        total length within
+//                                                       factor * (congestion +
+//                                                       dilation * ceil(log2 n))
+//   truncation           Lemma 4.4                      (info) count of rows
+//                                                       with shortened prefixes
+//   measured-constants   Thm 1.1                        (info) the measured
+//                                                       constants of the bound
+//
+// docs/VERIFICATION.md is the narrative version of this table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "telemetry/telemetry.hpp"
+
+namespace dasched::verify {
+
+// ---------------------------------------------------------------------------
+// Finding codes (stable identifiers; tests and CI match on these).
+// ---------------------------------------------------------------------------
+inline constexpr const char* kCodeDimensionMismatch = "dimension-mismatch";
+inline constexpr const char* kCodeGap = "gap";
+inline constexpr const char* kCodeOrder = "order";
+inline constexpr const char* kCodeCausality = "causality";
+inline constexpr const char* kCodeMissingProducer = "missing-producer";
+inline constexpr const char* kCodeRetryHeadroom = "retry-headroom";
+inline constexpr const char* kCodeCongestionOverrun = "congestion-overrun";
+inline constexpr const char* kCodeBlockDelay = "block-delay";
+inline constexpr const char* kCodeBlockMonotonic = "block-monotonic";
+inline constexpr const char* kCodeLengthBudget = "length-budget";
+inline constexpr const char* kCodeTruncation = "truncation";
+inline constexpr const char* kCodeMeasured = "measured-constants";
+
+struct VerifyOptions {
+  /// Per-directed-edge per-big-round load budget (the phase budget: a
+  /// big-round of P physical rounds can carry at most P messages per edge).
+  /// 0 = measure only: the static max load is reported in the
+  /// measured-constants finding but never errors.
+  std::uint32_t congestion_budget = 0;
+
+  /// Physical rounds per big-round, for the length measure. 0 derives
+  /// ceil(log2 n) (the paper's Theta(log n) phase).
+  std::uint32_t phase_len = 0;
+
+  /// Retry budget R the schedule was stretched for (ScheduleTable::scaled by
+  /// 2^R, see fault/reliable.hpp): every consumer must land >= 2^R big-rounds
+  /// after its producer, which statically re-proves that all bounded-backoff
+  /// retransmissions (last one at producer + 2^R - 1) land strictly before
+  /// every dependent consumer. 0 = plain strict causality (consumer slot >
+  /// producer slot).
+  std::uint32_t retry_budget = 0;
+
+  /// Lemma 4.4 block membership: when > 0, every implied start delay
+  /// (slot - (vround - 1)) must lie in [0, delay_support). Pass the private
+  /// scheduler's PrivateScheduleOutcome::delay_support. 0 = skip.
+  std::uint32_t delay_support = 0;
+
+  /// Lemma 4.4 monotonicity: implied start delays must be non-decreasing in
+  /// the virtual round (as rounds grow, fewer clustering layers are eligible,
+  /// so the min-delay over the eligible prefix can only grow).
+  bool check_delay_monotonic = false;
+
+  /// Total-length budget: error when
+  ///   big_rounds * phase_len > factor * (congestion + dilation * ceil(log2 n)).
+  /// 0 = measure only (the ratio is always reported).
+  double length_budget_factor = 0.0;
+
+  /// Cap on *recorded* findings per code; totals stay exact (findings.hpp).
+  std::size_t max_findings_per_code = 16;
+
+  /// Optional telemetry sink (borrowed). Emits a verify/check_schedule span
+  /// plus verify.* counters and gauges (docs/OBSERVABILITY.md).
+  TelemetrySink* telemetry = nullptr;
+};
+
+}  // namespace dasched::verify

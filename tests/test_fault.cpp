@@ -25,6 +25,7 @@
 #include "sched/workloads.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/run_report.hpp"
+#include "verify/schedule_verifier.hpp"
 
 namespace dasched {
 namespace {
@@ -254,7 +255,8 @@ TEST(FaultExecutor, NullInjectorMatchesGoldenFingerprint) {
     ExecConfig cfg;
     cfg.num_threads = threads;
     cfg.telemetry = &metrics;
-    cfg.faults = nullptr;  // explicit: the paper's reliable network
+    cfg.faults = nullptr;     // explicit: the paper's reliable network
+    cfg.admission = nullptr;  // explicit: no pre-execution gate
     const auto r = Executor(in.g, cfg).run(in.algos, in.schedule);
 
     EXPECT_EQ(fingerprint(r), kGoldenOutputHash);
@@ -267,6 +269,31 @@ TEST(FaultExecutor, NullInjectorMatchesGoldenFingerprint) {
     EXPECT_EQ(metrics.counter("executor.messages_sent"), kGoldenTotalMessages);
     EXPECT_EQ(metrics.counter("executor.messages_delivered"), kGoldenTotalMessages);
     EXPECT_EQ(metrics.counter("fault.attempts"), 0u);  // no fault.* emitted
+  }
+}
+
+// A *passing* admission gate must be invisible: verification only observes
+// the schedule, so the gated run reproduces the same golden fingerprint the
+// ungated engine recorded before the verifier (or the gate hook) existed.
+TEST(FaultExecutor, AdmissionGateMatchesGoldenFingerprint) {
+  const auto in = make_instance();
+  verify::VerifyingAdmission gate(*in.problem);
+  for (const std::uint32_t threads : {0u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExecConfig cfg;
+    cfg.num_threads = threads;
+    cfg.admission = &gate;
+    const auto r = Executor(in.g, cfg).run(in.algos, in.schedule);
+
+    EXPECT_TRUE(gate.last_report().ok());
+    EXPECT_EQ(fingerprint(r), kGoldenOutputHash);
+    EXPECT_EQ(r.total_messages, kGoldenTotalMessages);
+    EXPECT_EQ(r.causality_violations, kGoldenViolations);
+    EXPECT_EQ(r.num_big_rounds, kGoldenBigRounds);
+    EXPECT_EQ(r.max_edge_load, kGoldenMaxEdgeLoad);
+    // The verifier's static load accounting agrees with the golden dynamics.
+    EXPECT_EQ(gate.last_report().measured.max_edge_load, kGoldenMaxEdgeLoad);
+    EXPECT_EQ(gate.last_report().measured.big_rounds, kGoldenBigRounds);
   }
 }
 

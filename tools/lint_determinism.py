@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Determinism lint for the dasched codebase.
+
+The repo's core guarantee is bit-identical results across thread counts and
+platforms (docs/PERFORMANCE.md, the golden-fingerprint tests). Three C++
+patterns quietly break that guarantee long before a test notices:
+
+  unordered-iteration   iterating a std::unordered_map/unordered_set: the
+                        visit order depends on the hash function, libstdc++
+                        version, and insertion history. Fine for lookups;
+                        poison when the iteration feeds output, scheduling
+                        decisions, or accumulation.
+  raw-rng               std::random_device, time()-seeded engines, rand():
+                        nondeterministic entropy sources. All randomness must
+                        flow through util/rng.hpp's seeded SplitMix64 (and
+                        the k-wise family built on it), so runs replay from
+                        the seed alone.
+  float-accumulation    `+=` / `-=` on a float/double in a file that uses the
+                        thread pool: float addition is not associative, so
+                        sharded reduction order changes the result. Integer
+                        accumulators or a fixed reduction order are required.
+
+This is a line-based heuristic lint, not a compiler: it trades soundness for
+zero dependencies. False positives are suppressed inline with
+
+    // det-ok: <rule> [reason]
+
+on the offending line or the line directly above it, e.g.
+
+    for (const auto& [k, v] : cache_) {  // det-ok: unordered-iteration -- stats only
+
+Usage:
+    tools/lint_determinism.py [--self-test] [paths...]
+Paths default to src/. Exit status: 0 clean, 1 findings, 2 usage/self-test
+failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SUPPRESS_RE = re.compile(r"//\s*det-ok:\s*([a-z-]+)")
+
+# Identifiers declared as unordered containers anywhere in the same file.
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;,={(\[]"
+)
+# Range-for over an identifier, or .begin()/.cbegin() calls on it.
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*?:\s*(?P<name>[A-Za-z_]\w*)\s*\)")
+BEGIN_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+
+RAW_RNG_RE = re.compile(
+    r"std::random_device|std::mt19937|std::default_random_engine"
+    r"|\bsrand\s*\(|\brand\s*\(\)"
+)
+TIME_SEED_RE = re.compile(
+    r"(?:seed|Rng|engine)[^;\n]*\b(?:time\s*\(|chrono::.*now)"
+)
+
+FLOAT_DECL_RE = re.compile(
+    r"\b(?:float|double)\s+&?\s*(?P<name>[A-Za-z_]\w*)\s*[;=({]"
+)
+FLOAT_ACCUM_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*[+\-]=")
+THREADED_RE = re.compile(r"ThreadPool|parallel_for|util/parallel")
+
+# util/rng.hpp is the one sanctioned home of raw engines; the lint itself and
+# third-party code are out of scope.
+RAW_RNG_EXEMPT = ("util/rng.hpp",)
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Removes string/char literals and // comments so patterns cannot match
+    inside them. (Block comments are rare in this codebase and line-local.)"""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '/' and i + 1 < n and line[i + 1] == '/':
+            break
+        if c in ('"', "'"):
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == '\\' else 1
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def suppressed(rule: str, lines: list[str], idx: int) -> bool:
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = SUPPRESS_RE.search(lines[probe])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [Finding(path, 0, "io", f"unreadable: {err}")]
+    lines = text.splitlines()
+    code = [strip_strings_and_comments(l) for l in lines]
+    findings: list[Finding] = []
+    rel = path.as_posix()
+
+    # --- unordered-iteration ---
+    unordered_names = {m.group("name") for l in code for m in UNORDERED_DECL_RE.finditer(l)}
+    if unordered_names:
+        for idx, l in enumerate(code):
+            names = {m.group("name") for m in RANGE_FOR_RE.finditer(l)}
+            names |= {m.group("name") for m in BEGIN_RE.finditer(l)}
+            for name in sorted(names & unordered_names):
+                if suppressed("unordered-iteration", lines, idx):
+                    continue
+                findings.append(Finding(
+                    path, idx + 1, "unordered-iteration",
+                    f"iterating unordered container '{name}': visit order is "
+                    "hash-dependent; use an ordered container or sort first",
+                ))
+
+    # --- raw-rng ---
+    if not any(rel.endswith(exempt) for exempt in RAW_RNG_EXEMPT):
+        for idx, l in enumerate(code):
+            if RAW_RNG_RE.search(l) or TIME_SEED_RE.search(l):
+                if suppressed("raw-rng", lines, idx):
+                    continue
+                findings.append(Finding(
+                    path, idx + 1, "raw-rng",
+                    "nondeterministic randomness source; route through the "
+                    "seeded Rng in util/rng.hpp",
+                ))
+
+    # --- float-accumulation (only in files that touch the thread pool) ---
+    if any(THREADED_RE.search(l) for l in code):
+        float_names = {m.group("name") for l in code for m in FLOAT_DECL_RE.finditer(l)}
+        for idx, l in enumerate(code):
+            for m in FLOAT_ACCUM_RE.finditer(l):
+                name = m.group("name")
+                if name not in float_names:
+                    continue
+                if suppressed("float-accumulation", lines, idx):
+                    continue
+                findings.append(Finding(
+                    path, idx + 1, "float-accumulation",
+                    f"'{name} +=' on a float in threaded code: float addition "
+                    "is not associative, so shard order changes the sum; "
+                    "accumulate in integers or fix the reduction order",
+                ))
+    return findings
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for root in paths:
+        files = sorted(root.rglob("*")) if root.is_dir() else [root]
+        for f in files:
+            if f.suffix in (".cpp", ".hpp", ".cc", ".h"):
+                findings.extend(lint_file(f))
+    return findings
+
+
+SELF_TEST_BAD = """\
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+double total = 0.0;
+void f(ThreadPool& pool) {
+  for (const auto& [k, v] : counts) { total += v; }
+  std::random_device rd;
+}
+void g() {
+  for (const auto& [k, v] : counts) {  // det-ok: unordered-iteration -- stats
+  }
+  // det-ok: raw-rng -- entropy probe for diagnostics only
+  std::random_device rd2;
+}
+"""
+
+SELF_TEST_EXPECT = [
+    (5, "unordered-iteration"),
+    (5, "float-accumulation"),
+    (6, "raw-rng"),
+]
+
+
+def self_test() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = Path(tmp) / "bad.cpp"
+        bad.write_text(SELF_TEST_BAD, encoding="utf-8")
+        found = [(f.lineno, f.rule) for f in lint_file(bad)]
+    if sorted(found) != sorted(SELF_TEST_EXPECT):
+        print(f"self-test FAILED: expected {sorted(SELF_TEST_EXPECT)}, got {sorted(found)}",
+              file=sys.stderr)
+        return 2
+    print("self-test passed: 3 seeded findings caught, 2 suppressions honored")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if "--self-test" in args:
+        return self_test()
+    paths = [Path(a) for a in args] or [Path("src")]
+    for p in paths:
+        if not p.exists():
+            print(f"no such path: {p}", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} finding(s). Suppress intentional uses with "
+              "'// det-ok: <rule> [reason]'.", file=sys.stderr)
+        return 1
+    print(f"determinism lint clean over {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
