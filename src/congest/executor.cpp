@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/alloc_counter.hpp"
 #include "util/check.hpp"
 
 namespace dasched {
@@ -34,9 +35,13 @@ bool ExecutionResult::all_completed() const {
   return true;
 }
 
-namespace {
+// The message-path structs live at namespace scope (not in an anonymous
+// namespace) because ExecScratch -- declared in the header -- holds arenas of
+// them; this TU is the only one that defines or uses them.
 
-/// Staged transmission awaiting end-of-big-round delivery.
+/// Staged transmission awaiting end-of-big-round delivery. Trivially
+/// copyable: staging, retry queues, and delivery arenas move these as raw
+/// bytes (the static_asserts below pin that property).
 struct StagedMessage {
   std::uint32_t alg;
   std::uint32_t tag;  // sender's virtual round
@@ -52,6 +57,33 @@ struct ExecEvent {
   std::uint32_t vround;
 };
 
+/// A delivered message parked until the big-round in which its consumer
+/// executes (or until on_finish for tag == T messages).
+struct PendingMessage {
+  std::uint32_t alg;
+  NodeId to;
+  VMessage msg;
+};
+
+static_assert(std::is_trivially_copyable_v<StagedMessage>);
+static_assert(std::is_trivially_copyable_v<ExecEvent>);
+static_assert(std::is_trivially_copyable_v<PendingMessage>);
+
+/// Per-worker staging plus reusable scratch. Within one big-round every event
+/// touches only its own (alg, node) state, so shards race only if they shared
+/// scratch -- they don't; and because each shard appends to its own `staged`
+/// and shards are contiguous slices of the bucket, concatenating the buffers
+/// in shard order reproduces the serial staging order bit for bit.
+struct WorkerState {
+  std::vector<StagedMessage> staged;  // perf-ok: cleared per round, capacity retained
+  std::vector<std::pair<std::uint32_t, Payload>> sends;  // perf-ok: per-event scratch, reserved to max_degree
+  std::vector<std::uint8_t> slot_used;  // perf-ok: size max_degree, zeroed once
+  std::uint64_t delivered = 0;  // cumulative messages consumed by this worker
+  std::uint64_t skipped = 0;    // events skipped because the node crash-stopped
+};
+
+namespace {
+
 /// Per-event send collector. One binary search over the (sorted) adjacency
 /// validates the neighbor and yields its adjacency slot; the per-slot bitmap
 /// flags duplicate sends in O(1); the caller resolves the directed edge id
@@ -61,7 +93,7 @@ struct SendSink {
   std::span<const HalfEdge> neighbors;
   std::uint32_t max_payload_words;
   std::uint8_t* slot_used;  // worker scratch sized max_degree, all zero between events
-  std::vector<std::pair<std::uint32_t, Payload>>* sends;  // (slot, payload)
+  std::vector<std::pair<std::uint32_t, Payload>>* sends;  // borrowed worker scratch
 
   static void send(void* raw, NodeId neighbor, Payload payload) {
     auto* sink = static_cast<SendSink*>(raw);
@@ -77,21 +109,8 @@ struct SendSink {
     DASCHED_CHECK_MSG(!sink->slot_used[slot],
                       "two messages to one neighbor in one round");
     sink->slot_used[slot] = 1;
-    sink->sends->emplace_back(slot, std::move(payload));
+    sink->sends->emplace_back(slot, payload);
   }
-};
-
-/// Per-worker staging plus reusable scratch. Within one big-round every event
-/// touches only its own (alg, node) state, so shards race only if they shared
-/// scratch -- they don't; and because each shard appends to its own `staged`
-/// and shards are contiguous slices of the bucket, concatenating the buffers
-/// in shard order reproduces the serial staging order bit for bit.
-struct WorkerState {
-  std::vector<StagedMessage> staged;
-  std::vector<std::pair<std::uint32_t, Payload>> sends;  // per-event scratch
-  std::vector<std::uint8_t> slot_used;                   // size max_degree
-  std::uint64_t delivered = 0;  // cumulative messages consumed by this worker
-  std::uint64_t skipped = 0;    // events skipped because the node crash-stopped
 };
 
 /// Minimum events per shard before a big-round is farmed out to the pool:
@@ -99,9 +118,69 @@ struct WorkerState {
 /// invisible in results -- serial and parallel execution are bit-identical.
 constexpr std::size_t kMinEventsPerShard = 16;
 
+constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
+
 }  // namespace
 
-Executor::Executor(const Graph& g, ExecConfig cfg) : graph_(g), cfg_(cfg) {}
+/// Everything the engine reuses across big-rounds and runs. First run of a
+/// workload grows each buffer to its high-water mark; from then on the
+/// message path performs no heap allocation (ExecutionResult::hot_path_allocs
+/// measures exactly this window).
+struct ExecScratch {
+  // perf-ok: all members below are arenas/scratch -- sized once per run (or
+  // grown to a high-water mark during warm-up) and recycled, never allocated
+  // per message.
+
+  // --- Schedule flattening (rebuilt per run, capacity retained). ---
+  std::vector<ExecEvent> events;          // perf-ok: per-run arena
+  std::vector<std::size_t> bucket_start;  // perf-ok: CSR offsets per big-round
+  std::vector<std::size_t> bucket_cursor;  // perf-ok: counting-sort scratch
+
+  // --- Worker staging (persistent; slot_used zeroed once at creation and
+  // kept all-zero between events by the senders themselves). ---
+  std::vector<WorkerState> workers;  // perf-ok: persistent across runs
+  std::size_t staged_high_water = 0;  // max staged per worker per big-round
+
+  // --- Pending deliveries, bucketed by the consumer's big-round. Buckets
+  // are drained at the start of their round and their storage recycled via
+  // the free list, so the number of live buckets is the number of rounds
+  // with in-flight messages, not the number of (alg, node, tag) triples. ---
+  std::vector<std::uint32_t> round_bucket;  // perf-ok: big-round -> pool index or kNoBucket
+  std::vector<std::vector<PendingMessage>> bucket_pool;  // perf-ok: recycled via free_buckets
+  std::vector<std::uint32_t> free_buckets;  // perf-ok: drained-bucket free list
+
+  // --- Per-big-round CSR inbox arena: this round's consumable messages,
+  // counting-sorted into one contiguous slice per event. ---
+  std::vector<VMessage> round_arena;        // perf-ok: reused every big-round
+  std::vector<std::uint32_t> inbox_offset;  // perf-ok: per event in bucket, size + 1
+  std::vector<std::uint32_t> inbox_cursor;  // perf-ok: counting-sort scratch
+  /// (alg * n + node) -> event index within the current bucket. Never reset:
+  /// every pending message's consumer provably has an event in the round the
+  /// message was bound to, so only freshly-written entries are ever read.
+  std::vector<std::uint32_t> consumer_slot;  // perf-ok: sized k*n once
+
+  // --- tag == T messages, consumed by on_finish after the loop. ---
+  std::vector<PendingMessage> finish_pending;  // perf-ok: appended across the run
+  std::vector<VMessage> finish_arena;      // perf-ok: sorted once after the loop
+  std::vector<std::size_t> finish_offset;  // perf-ok: per (alg, node), size k*n + 1
+
+  // --- Edge-load accounting (self-zeroing between rounds). ---
+  std::vector<std::uint32_t> edge_count;     // perf-ok: zeroed via touched_edges
+  std::vector<std::uint32_t> touched_edges;  // perf-ok: reserved to num_directed_edges
+
+  // --- Reliable-delivery drain buffer (faulty runs only). ---
+  std::vector<RetryQueue<StagedMessage>::Entry> retry_due;  // perf-ok: drain_into reuses capacity
+};
+
+Executor::Executor(const Graph& g, ExecConfig cfg)
+    : graph_(g), cfg_(cfg), scratch_(std::make_unique<ExecScratch>()) {
+  DASCHED_CHECK_LE(cfg_.max_payload_words, InlinePayload::kInlineCapacity,
+                   "max_payload_words exceeds the inline payload capacity; "
+                   "recompile with -DDASCHED_PAYLOAD_INLINE_WORDS=<n> to spill "
+                   "to a larger inline message");
+}
+
+Executor::~Executor() = default;
 
 ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algorithms,
                               const ExecTimeFn& exec_time) {
@@ -125,9 +204,16 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                       "schedule rejected by the admission gate");
   }
 
-  // --- Validate the schedule and count events. ---
+  ExecScratch& scratch = *scratch_;
+
+  // --- One pass over the schedule: validate (gap-free prefix, strictly
+  // increasing big-rounds), count events per big-round, and record
+  // max_big_round together. bucket_start[t + 1] accumulates the bucket sizes
+  // and is prefix-summed into CSR offsets below. ---
   std::uint32_t max_big_round = 0;
   std::uint64_t total_events = 0;
+  auto& bucket_start = scratch.bucket_start;
+  bucket_start.clear();
   for (std::size_t a = 0; a < k; ++a) {
     DASCHED_CHECK_EQ(schedule.rounds(a), algorithms[a]->rounds(),
                      "schedule table does not match the algorithm round counts");
@@ -146,29 +232,29 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                           "schedule must be strictly increasing per (alg, node)");
         prev = t;
         max_big_round = std::max(max_big_round, t);
+        if (std::size_t{t} + 2 > bucket_start.size()) bucket_start.resize(std::size_t{t} + 2, 0);
+        ++bucket_start[std::size_t{t} + 1];
         ++total_events;
       }
     }
   }
 
-  // --- Bucket events by big-round: one flat array plus CSR offsets. The
-  // counting sort preserves (alg, node, round) order within each bucket,
-  // which is the canonical serial execution order. ---
   const std::uint32_t num_big_rounds = total_events == 0 ? 0 : max_big_round + 1;
-  std::vector<std::size_t> bucket_start(num_big_rounds + 1, 0);
-  for (std::size_t a = 0; a < k; ++a) {
-    for (NodeId v = 0; v < n; ++v) {
-      for (const auto t : schedule.row(a, v)) {
-        if (t != kNeverScheduled) ++bucket_start[t + 1];
-      }
-    }
-  }
+  bucket_start.resize(std::size_t{num_big_rounds} + 1, 0);
+  std::size_t max_bucket_size = 0;
   for (std::uint32_t t = 1; t <= num_big_rounds; ++t) {
+    max_bucket_size = std::max(max_bucket_size, bucket_start[t]);
     bucket_start[t] += bucket_start[t - 1];
   }
-  std::vector<ExecEvent> events(total_events);
+
+  // --- Bucket events by big-round: one flat array plus the CSR offsets. The
+  // counting sort preserves (alg, node, round) order within each bucket,
+  // which is the canonical serial execution order. ---
+  auto& events = scratch.events;
+  events.resize(total_events);
   {
-    std::vector<std::size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    auto& cursor = scratch.bucket_cursor;
+    cursor.assign(bucket_start.begin(), bucket_start.end() - 1);
     for (std::size_t a = 0; a < k; ++a) {
       for (NodeId v = 0; v < n; ++v) {
         const auto slots = schedule.row(a, v);
@@ -186,17 +272,10 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   std::vector<std::vector<std::unique_ptr<NodeProgram>>> programs(k);
   std::vector<std::vector<Rng>> rngs(k);
   std::vector<std::vector<std::uint32_t>> progress(k);  // last executed vround
-  // Tag-bucketed inboxes: inbox[a][v * T_a + (tag - 1)] holds the messages
-  // sent to (a, v) in the sender's virtual round `tag`. The receiver consumes
-  // the whole bucket when it executes round tag + 1 (or on_finish for
-  // tag == T_a), so inbox lookup is one indexed load instead of a linear scan
-  // over all pending messages.
-  std::vector<std::vector<std::vector<VMessage>>> inbox(k);
   for (std::size_t a = 0; a < k; ++a) {
     programs[a].reserve(n);
     rngs[a].reserve(n);
     progress[a].assign(n, 0);
-    inbox[a].resize(std::size_t{n} * algorithms[a]->rounds());
     for (NodeId v = 0; v < n; ++v) {
       programs[a].push_back(algorithms[a]->make_program(v));
       rngs[a].emplace_back(seed_combine(algorithms[a]->base_seed(), v));
@@ -212,8 +291,24 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   result.num_big_rounds = num_big_rounds;
   result.max_load_per_big_round.assign(num_big_rounds, 0);
 
-  std::vector<std::uint32_t> edge_count(graph_.num_directed_edges(), 0);
-  std::vector<std::uint32_t> touched_edges;
+  // --- Size the delivery arenas (no allocation inside the loop: buckets and
+  // arenas below only grow to warm-up high-water marks). ---
+  scratch.round_bucket.assign(std::size_t{num_big_rounds} + 1, kNoBucket);
+  scratch.free_buckets.clear();
+  for (std::uint32_t b = 0; b < scratch.bucket_pool.size(); ++b) {
+    scratch.bucket_pool[b].clear();
+    scratch.free_buckets.push_back(b);
+  }
+  scratch.inbox_offset.reserve(max_bucket_size + 1);
+  scratch.inbox_cursor.reserve(max_bucket_size + 1);
+  if (scratch.consumer_slot.size() < k * n) scratch.consumer_slot.resize(k * n);
+  scratch.finish_pending.clear();
+  scratch.edge_count.assign(graph_.num_directed_edges(), 0);
+  scratch.touched_edges.clear();
+  scratch.touched_edges.reserve(graph_.num_directed_edges());
+
+  auto& edge_count = scratch.edge_count;
+  auto& touched_edges = scratch.touched_edges;
 
   // --- Fault injection and reliable delivery (docs/FAULTS.md). All fault
   // decisions run at the delivery barrier below, which processes messages in
@@ -228,13 +323,26 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   // horizon grows to cover them.
   std::uint32_t horizon = num_big_rounds;
 
-  // --- Worker pool and per-worker staging. ---
+  // --- Worker pool and per-worker staging. Workers persist across runs:
+  // slot_used is zeroed once at creation (the send loop restores it to zero
+  // after every event) and staged/sends keep their warmed-up capacity. ---
   const std::uint32_t num_workers = std::max<std::uint32_t>(1, cfg_.num_threads);
   if (num_workers > 1 && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(num_workers);
   }
-  std::vector<WorkerState> workers(num_workers);
-  for (auto& ws : workers) ws.slot_used.assign(graph_.max_degree(), 0);
+  if (scratch.workers.size() != num_workers) {
+    scratch.workers.resize(num_workers);
+    for (auto& ws : scratch.workers) ws.slot_used.assign(graph_.max_degree(), 0);
+  }
+  std::vector<WorkerState>& workers = scratch.workers;
+  for (auto& ws : workers) {
+    ws.delivered = 0;
+    ws.skipped = 0;
+    ws.staged.clear();
+    ws.staged.reserve(scratch.staged_high_water);
+    ws.sends.clear();
+    ws.sends.reserve(graph_.max_degree());  // sends per event <= degree
+  }
   std::uint64_t rounds_parallel = 0;
   std::uint64_t rounds_serial = 0;
 
@@ -248,11 +356,17 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     run_span.arg("events", static_cast<double>(total_events));
   }
 
+  // Whether the current big-round has a populated CSR inbox arena; false for
+  // rounds with no consumable messages, where every event's inbox is empty.
+  bool round_has_inbox = false;
+  std::size_t round_begin = 0;
+
   // The per-event body shared by the serial and parallel paths. Everything it
   // mutates is either owned by the event's (alg, node) -- programs, rngs,
-  // progress, the consumed inbox bucket -- or by the executing shard's
-  // WorkerState, so shards are data-race free.
-  auto execute_event = [&](const ExecEvent& ev, WorkerState& ws, std::uint32_t t) {
+  // progress -- or by the executing shard's WorkerState; the round arena and
+  // its offsets are read-only during execution, so shards are data-race free.
+  auto execute_event = [&](const ExecEvent& ev, std::size_t event_index,
+                           WorkerState& ws, std::uint32_t t) {
     if (faults != nullptr && faults->node_crashed(ev.node, t)) {
       // Crash-stop: the node executes nothing from its crash round on. Its
       // progress freezes, so it is never marked completed.
@@ -264,12 +378,15 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                      "executor: out-of-order virtual round");
     prog_progress = ev.vround;
 
-    std::vector<VMessage>* in_bucket = nullptr;
+    // This event's inbox: its contiguous slice of the round arena. Messages
+    // bound to this round were counting-sorted into per-event slices at the
+    // top of the round; events without messages (vround 1, quiet rounds) get
+    // a zero-length slice.
     std::span<const VMessage> in;
-    if (ev.vround >= 2) {
-      in_bucket = &inbox[ev.alg][std::size_t{ev.node} * schedule.rounds(ev.alg) +
-                                 (ev.vround - 2)];
-      in = *in_bucket;
+    if (round_has_inbox) {
+      const std::size_t li = event_index - round_begin;
+      in = {scratch.round_arena.data() + scratch.inbox_offset[li],
+            scratch.inbox_offset[li + 1] - scratch.inbox_offset[li]};
     }
     ws.delivered += in.size();
 
@@ -289,13 +406,16 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
     programs[ev.alg][ev.node]->on_round(ctx);
 
-    for (auto& [slot, payload] : ws.sends) {
+    for (const auto& [slot, payload] : ws.sends) {
       ws.slot_used[slot] = 0;
       ws.staged.push_back({ev.alg, ev.vround, nbrs[slot].neighbor, directed[slot],
-                           VMessage{ev.node, std::move(payload)}});
+                           VMessage{ev.node, payload}});
     }
-    if (in_bucket != nullptr) in_bucket->clear();
   };
+
+  // --- Steady-state window: everything from here to the end of the loop is
+  // allocation-free once arenas are warm; hot_path_allocs measures it. ---
+  const std::uint64_t allocs_before = alloc_count();
 
   // --- Main loop over big-rounds. Rounds >= num_big_rounds exist only when
   // retransmissions extended the horizon; they have no scheduled events. ---
@@ -304,12 +424,51 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     const std::size_t begin = t < num_big_rounds ? bucket_start[t] : events.size();
     const std::size_t end = t < num_big_rounds ? bucket_start[t + 1] : events.size();
     const std::size_t bucket_size = end - begin;
+    round_begin = begin;
     // Telemetry is batched per big-round: the per-event/per-message path
     // below only bumps locals, so a null sink costs nothing and a live sink
     // costs O(1) virtual calls per big-round (plus one histogram sample per
     // touched edge).
     const std::uint64_t violations_before = result.causality_violations;
     TimedSpan round_span(telemetry, "executor", "big_round");
+
+    // --- Gather this round's inboxes: drain the pending bucket bound to t
+    // and counting-sort it (stably, preserving delivery order) into one
+    // contiguous arena slice per event. Each pending message's consumer
+    // executes in this round by construction, so consumer_slot lookups always
+    // hit an event of this bucket and stale entries are never read. ---
+    round_has_inbox = false;
+    const std::uint32_t pend_idx =
+        t < scratch.round_bucket.size() ? scratch.round_bucket[t] : kNoBucket;
+    if (pend_idx != kNoBucket) {
+      auto& pend = scratch.bucket_pool[pend_idx];
+      if (!pend.empty()) {
+        round_has_inbox = true;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& ev = events[i];
+          scratch.consumer_slot[std::size_t{ev.alg} * n + ev.node] =
+              static_cast<std::uint32_t>(i - begin);
+        }
+        scratch.inbox_offset.assign(bucket_size + 1, 0);
+        for (const auto& pm : scratch.bucket_pool[pend_idx]) {
+          ++scratch.inbox_offset[scratch.consumer_slot[std::size_t{pm.alg} * n + pm.to] + 1];
+        }
+        for (std::size_t s = 1; s <= bucket_size; ++s) {
+          scratch.inbox_offset[s] += scratch.inbox_offset[s - 1];
+        }
+        scratch.inbox_cursor.assign(scratch.inbox_offset.begin(),
+                                    scratch.inbox_offset.end() - 1);
+        scratch.round_arena.resize(pend.size());
+        for (const auto& pm : pend) {
+          const std::uint32_t slot =
+              scratch.consumer_slot[std::size_t{pm.alg} * n + pm.to];
+          scratch.round_arena[scratch.inbox_cursor[slot]++] = pm.msg;
+        }
+      }
+      pend.clear();
+      scratch.free_buckets.push_back(pend_idx);
+      scratch.round_bucket[t] = kNoBucket;
+    }
 
     // --- Execute the bucket: statically sharded when large enough. ---
     std::uint32_t shards = 1;
@@ -319,16 +478,19 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     }
     if (shards <= 1) {
       for (std::size_t i = begin; i < end; ++i) {
-        execute_event(events[i], workers[0], t);
+        execute_event(events[i], i, workers[0], t);
       }
       ++rounds_serial;
     } else {
-      pool_->run(shards, [&](std::uint32_t s) {
+      auto shard_body = [&](std::uint32_t s) {
         const std::size_t lo = begin + bucket_size * s / shards;
         const std::size_t hi = begin + bucket_size * (s + 1) / shards;
         auto& ws = workers[s];
-        for (std::size_t i = lo; i < hi; ++i) execute_event(events[i], ws, t);
-      });
+        for (std::size_t i = lo; i < hi; ++i) execute_event(events[i], i, ws, t);
+      };
+      // run_ctx dispatches through one reference capture, so the pool's
+      // std::function stays in its small-object buffer: no allocation.
+      pool_->run_ctx(shards, shard_body);
       ++rounds_parallel;
     }
 
@@ -338,24 +500,40 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       if (edge_count[d] == 0) touched_edges.push_back(d);
       ++edge_count[d];
     };
+    // Bind each delivered message to the big-round in which its consumer
+    // executes. Messages whose consumer already ran (a causality violation)
+    // or is never scheduled would sit unread in any inbox; they are counted
+    // and dropped, which is observationally identical. tag == T messages are
+    // consumed by on_finish after the loop and so can never be violated.
     auto deliver = [&](std::uint32_t alg, std::uint32_t tag, NodeId to,
-                       VMessage msg) {
-      // The consumer executes vround tag+1 (or on_finish if tag == T, which
-      // always happens after the loop and so cannot be violated).
-      const auto consumer_slots = schedule.row(alg, to);
-      if (tag < consumer_slots.size()) {
-        const std::uint32_t consumer_time = consumer_slots[tag];  // vround tag+1
-        if (consumer_time != kNeverScheduled && consumer_time <= t) {
-          ++result.causality_violations;
-        }
+                       const VMessage& msg) {
+      if (tag == schedule.rounds(alg)) {
+        scratch.finish_pending.push_back({alg, to, msg});
+        return;
       }
-      inbox[alg][std::size_t{to} * schedule.rounds(alg) + (tag - 1)]
-          .push_back(std::move(msg));
+      const std::uint32_t consumer_time = schedule.row(alg, to)[tag];  // vround tag+1
+      if (consumer_time == kNeverScheduled) return;  // consumer never runs
+      if (consumer_time <= t) {
+        ++result.causality_violations;
+        return;
+      }
+      std::uint32_t idx = scratch.round_bucket[consumer_time];
+      if (idx == kNoBucket) {
+        if (!scratch.free_buckets.empty()) {
+          idx = scratch.free_buckets.back();
+          scratch.free_buckets.pop_back();
+        } else {
+          idx = static_cast<std::uint32_t>(scratch.bucket_pool.size());
+          scratch.bucket_pool.emplace_back();
+        }
+        scratch.round_bucket[consumer_time] = idx;
+      }
+      scratch.bucket_pool[idx].push_back({alg, to, msg});
     };
     // Faulty-path transmission: one bandwidth slot in this big-round, fate
     // from the injector (pure in the message identity and t), retransmission
     // bookkeeping for the reliable layer.
-    auto transmit_faulty = [&](StagedMessage& sm, std::uint32_t attempt) {
+    auto transmit_faulty = [&](const StagedMessage& sm, std::uint32_t attempt) {
       auto& fs = result.faults;
       ++fs.attempts;
       account_edge(sm.directed_edge);
@@ -381,10 +559,10 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
           } else {
             ++fs.duplicated;
             ++fs.delivered;
-            deliver(sm.alg, sm.tag, sm.to, VMessage{sm.msg.from, sm.msg.payload});
+            deliver(sm.alg, sm.tag, sm.to, sm.msg);
           }
         }
-        deliver(sm.alg, sm.tag, sm.to, std::move(sm.msg));
+        deliver(sm.alg, sm.tag, sm.to, sm.msg);
         return;
       }
       // Dropped. Retransmit with exponential backoff (gap 2^attempt after
@@ -397,7 +575,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
             horizon = retry_round + 1;
             result.max_load_per_big_round.resize(horizon, 0);
           }
-          retry_queue.schedule(retry_round, std::move(sm), attempt + 1);
+          retry_queue.schedule(retry_round, sm, attempt + 1);
           return;
         }
       }
@@ -409,14 +587,17 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     // round's fresh sends, and their queue order is deterministic (scheduled
     // at earlier barriers in shard-merged order).
     if (max_retries > 0) {
-      auto due = retry_queue.take(t);
-      messages_this_round += due.size();
-      for (auto& entry : due) transmit_faulty(entry.msg, entry.attempt);
+      retry_queue.drain_into(t, scratch.retry_due);
+      messages_this_round += scratch.retry_due.size();
+      for (const auto& entry : scratch.retry_due) {
+        transmit_faulty(entry.msg, entry.attempt);
+      }
     }
     for (std::uint32_t w = 0; w < num_workers; ++w) {
       auto& staged = workers[w].staged;
+      scratch.staged_high_water = std::max(scratch.staged_high_water, staged.size());
       messages_this_round += staged.size();
-      for (auto& sm : staged) {
+      for (const auto& sm : staged) {
         if (cfg_.record_patterns) {
           // Patterns describe what the algorithm sent; retries are excluded.
           result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
@@ -424,7 +605,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         if (faults == nullptr) {
           account_edge(sm.directed_edge);
           ++result.total_messages;
-          deliver(sm.alg, sm.tag, sm.to, std::move(sm.msg));
+          deliver(sm.alg, sm.tag, sm.to, sm.msg);
         } else {
           transmit_faulty(sm, 0);
         }
@@ -465,13 +646,32 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     }
   }
 
+  result.hot_path_allocs = alloc_count() - allocs_before;
+
   // Retransmissions may have extended the run past the scheduled horizon.
   result.num_big_rounds = horizon;
   for (const auto& ws : workers) result.faults.skipped_events += ws.skipped;
 
-  // --- Finish and collect outputs. A crash-stopped node never runs
-  // on_finish and is never marked completed, even if it crashed after its
-  // last scheduled event. ---
+  // --- Finish and collect outputs. The tag == T messages accumulated in
+  // finish_pending are counting-sorted (stably: delivery order is preserved
+  // within each node's slice) into one arena indexed by (alg, node). A
+  // crash-stopped node never runs on_finish and is never marked completed,
+  // even if it crashed after its last scheduled event. ---
+  auto& finish_offset = scratch.finish_offset;
+  finish_offset.assign(k * n + 1, 0);
+  for (const auto& pm : scratch.finish_pending) {
+    ++finish_offset[std::size_t{pm.alg} * n + pm.to + 1];
+  }
+  for (std::size_t i = 1; i <= k * n; ++i) finish_offset[i] += finish_offset[i - 1];
+  scratch.finish_arena.resize(scratch.finish_pending.size());
+  {
+    auto& cursor = scratch.bucket_cursor;  // reuse: events array is flattened
+    cursor.assign(finish_offset.begin(), finish_offset.end() - 1);
+    for (const auto& pm : scratch.finish_pending) {
+      scratch.finish_arena[cursor[std::size_t{pm.alg} * n + pm.to]++] = pm.msg;
+    }
+  }
+
   std::uint64_t delivered_at_finish = 0;
   for (std::size_t a = 0; a < k; ++a) {
     const std::uint32_t rounds = algorithms[a]->rounds();
@@ -480,10 +680,10 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     for (NodeId v = 0; v < n; ++v) {
       if (progress[a][v] != rounds) continue;
       if (faults != nullptr && faults->crash_round(v) < horizon) continue;
-      std::span<const VMessage> in;
-      if (rounds >= 1) {
-        in = inbox[a][std::size_t{v} * rounds + (rounds - 1)];  // tag == T
-      }
+      const std::size_t key = a * n + v;
+      const std::span<const VMessage> in{
+          scratch.finish_arena.data() + finish_offset[key],
+          finish_offset[key + 1] - finish_offset[key]};
       delivered_at_finish += in.size();
       VirtualContext ctx;
       ctx.self_ = v;

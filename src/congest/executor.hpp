@@ -34,6 +34,19 @@
 // The result is bit-identical to the serial path for every thread count; see
 // docs/PERFORMANCE.md for the argument and the measured scaling curve.
 //
+// Memory discipline: the message path is allocation-free in steady state.
+// Payloads are stored inline (congest/message.hpp), staged and delivered
+// messages are trivially-copyable PODs, and inboxes are not per-(alg, node,
+// tag) vectors but flat arenas: at the delivery barrier each message is bound
+// to the big-round in which its consumer executes, and at the start of that
+// big-round all of its messages are counting-sorted once into one contiguous
+// arena with CSR offsets per event -- each event's inbox is a slice of that
+// arena. All buffers (worker staging, pending-round buckets, the round arena)
+// live in an ExecScratch owned by the Executor and are recycled across
+// big-rounds and across runs, so a warmed-up run performs zero heap
+// allocations per message; ExecutionResult::hot_path_allocs measures this
+// (see docs/PERFORMANCE.md, "Memory layout & allocation budget").
+//
 // Fault injection: an optional `ExecConfig::faults` hook models an unreliable
 // network (message drops/duplicates, link outages, crash-stop nodes). All
 // fault decisions happen at the (serial, shard-order-merged) delivery barrier
@@ -118,19 +131,27 @@ struct ExecConfig {
 
 struct ExecutionResult {
   /// outputs[alg][node]; meaningful only where completed[alg][node] is true.
-  std::vector<std::vector<std::vector<std::uint64_t>>> outputs;
+  std::vector<std::vector<std::vector<std::uint64_t>>> outputs;  // perf-ok: filled once per run
   /// completed[alg][node]: node executed all rounds() rounds plus on_finish.
-  std::vector<std::vector<std::uint8_t>> completed;
+  std::vector<std::vector<std::uint8_t>> completed;  // perf-ok: filled once per run
 
   std::uint64_t causality_violations = 0;
   std::uint64_t total_messages = 0;
   std::uint32_t num_big_rounds = 0;
   /// max over directed edges of the message load, per big-round.
-  std::vector<std::uint32_t> max_load_per_big_round;
+  std::vector<std::uint32_t> max_load_per_big_round;  // perf-ok: one entry per big-round
   std::uint32_t max_edge_load = 0;
 
   /// Per-algorithm patterns (virtual-round indexed); only if record_patterns.
-  std::vector<CommunicationPattern> patterns;
+  std::vector<CommunicationPattern> patterns;  // perf-ok: opt-in recording, per run
+
+  /// Heap allocations observed during the big-round loop (event execution
+  /// plus delivery barriers) -- the steady-state message path. Non-zero only
+  /// in binaries that link util/alloc_hooks.cpp (bench_e13_message_hotpath,
+  /// test_hotpath); 0 everywhere else. With telemetry off and allocation-free
+  /// programs this is 0 from the second run of an Executor onwards (the first
+  /// run warms the arenas up to their high-water marks).
+  std::uint64_t hot_path_allocs = 0;
 
   /// Fault accounting; all-zero unless ExecConfig::faults was set.
   struct FaultStats {
@@ -166,9 +187,19 @@ struct ExecutionResult {
   bool all_completed() const;
 };
 
+/// Reusable execution buffers (worker staging, pending-round delivery
+/// buckets, the CSR inbox arena); owned by the Executor so repeated runs
+/// reuse warmed-up capacity. Defined in executor.cpp.
+struct ExecScratch;
+
 class Executor {
  public:
+  /// Aborts if cfg.max_payload_words exceeds the compile-time inline payload
+  /// capacity (InlinePayload::kInlineCapacity): there is deliberately no heap
+  /// spill path on the message hot path -- raise
+  /// -DDASCHED_PAYLOAD_INLINE_WORDS instead.
   explicit Executor(const Graph& g, ExecConfig cfg = {});
+  ~Executor();
 
   /// Runs all algorithms under the given schedule. Algorithms are borrowed
   /// (must outlive the call). The schedule is validated (gap-free prefix,
@@ -186,6 +217,8 @@ class Executor {
   ExecConfig cfg_;
   /// Lazily created on the first parallel run; reused across runs.
   std::unique_ptr<ThreadPool> pool_;
+  /// Arena-backed scratch recycled across big-rounds and runs.
+  std::unique_ptr<ExecScratch> scratch_;
 };
 
 }  // namespace dasched

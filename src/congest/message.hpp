@@ -1,22 +1,124 @@
 // Messages in the CONGEST model.
 //
 // The CONGEST model allows one O(log n)-bit message per directed edge per
-// round. We represent message content as a small vector of 64-bit words; the
-// execution engine enforces a configurable word budget per message
-// (conceptually each word is one O(log n)-bit field). Scheduling headers
-// (algorithm id, virtual round, clustering layer) are accounted separately --
-// the paper explicitly allows "adding a small amount of information to the
-// header" of black-box messages.
+// round. We represent message content as a small fixed-capacity sequence of
+// 64-bit words stored *inline* (no heap): conceptually each word is one
+// O(log n)-bit field, and the execution engine enforces a configurable word
+// budget per message. Scheduling headers (algorithm id, virtual round,
+// clustering layer) are accounted separately -- the paper explicitly allows
+// "adding a small amount of information to the header" of black-box messages.
+//
+// Why inline storage matters: the executor moves every message through a
+// staging buffer and a delivery arena (congest/executor.cpp). With a
+// heap-backed payload each of those hops is an allocator round-trip; with an
+// inline payload a message is a trivially-copyable value and the whole
+// send/stage/deliver path is allocation-free (docs/PERFORMANCE.md, "Memory
+// layout & allocation budget").
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <type_traits>
 
 #include "graph/graph.hpp"
+#include "util/check.hpp"
 
 namespace dasched {
 
-using Payload = std::vector<std::uint64_t>;
+/// Default cap on content words per message. Each word is one O(log n)-bit
+/// field (an id, a hop count, a weight); the largest message in this repo is
+/// an MST edge record {weight, u, v, fragment(u), fragment(v)} -- five
+/// fields, i.e. still a single O(log n)-bit CONGEST message.
+inline constexpr std::uint32_t kDefaultMaxPayloadWords = 5;
+
+/// Compile-time inline capacity of a payload, in 64-bit words. Configs may
+/// lower ExecConfig::max_payload_words freely; raising it beyond this
+/// capacity requires recompiling with -DDASCHED_PAYLOAD_INLINE_WORDS=<n>
+/// (the executor checks and aborts otherwise -- there is deliberately no
+/// heap spill path on the message hot path).
+#ifndef DASCHED_PAYLOAD_INLINE_WORDS
+#define DASCHED_PAYLOAD_INLINE_WORDS 5
+#endif
+
+/// Fixed-capacity inline message content: up to kInlineCapacity 64-bit words
+/// plus a length, no heap. Mirrors the slice of the std::vector interface the
+/// algorithms use ({...} construction, at/operator[], iteration, size), so a
+/// NodeProgram reads exactly like it did when Payload was a vector -- but the
+/// type is trivially copyable, which is what lets the executor treat staged
+/// and delivered messages as raw relocatable bytes.
+class InlinePayload {
+ public:
+  using value_type = std::uint64_t;
+
+  static constexpr std::uint32_t kInlineCapacity = DASCHED_PAYLOAD_INLINE_WORDS;
+  static_assert(kInlineCapacity >= 1);
+
+  InlinePayload() = default;
+
+  InlinePayload(std::initializer_list<std::uint64_t> words) {
+    DASCHED_CHECK_MSG(words.size() <= kInlineCapacity,
+                      "message exceeds the CONGEST word budget (inline payload capacity)");
+    len_ = static_cast<std::uint32_t>(words.size());
+    std::uint32_t i = 0;
+    for (const auto w : words) words_[i++] = w;
+  }
+
+  /// Fill constructor (vector-compatible): `count` copies of `value`.
+  InlinePayload(std::size_t count, std::uint64_t value) {
+    DASCHED_CHECK_MSG(count <= kInlineCapacity,
+                      "message exceeds the CONGEST word budget (inline payload capacity)");
+    len_ = static_cast<std::uint32_t>(count);
+    for (std::uint32_t i = 0; i < len_; ++i) words_[i] = value;
+  }
+
+  std::uint32_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  static constexpr std::uint32_t capacity() { return kInlineCapacity; }
+
+  /// Bounds-checked access (vector::at without the exception machinery: a
+  /// contract failure aborts, matching the repo-wide DASCHED_CHECK style).
+  std::uint64_t at(std::uint32_t i) const {
+    DASCHED_CHECK_LT(i, len_, "payload index out of range");
+    return words_[i];
+  }
+
+  std::uint64_t operator[](std::uint32_t i) const {
+    DASCHED_DCHECK(i < len_);
+    return words_[i];
+  }
+  std::uint64_t& operator[](std::uint32_t i) {
+    DASCHED_DCHECK(i < len_);
+    return words_[i];
+  }
+
+  std::uint64_t front() const { return at(0); }
+  std::uint64_t back() const { return at(len_ - 1); }
+
+  void push_back(std::uint64_t w) {
+    DASCHED_CHECK_MSG(len_ < kInlineCapacity,
+                      "message exceeds the CONGEST word budget (inline payload capacity)");
+    words_[len_++] = w;
+  }
+  void clear() { len_ = 0; }
+
+  const std::uint64_t* data() const { return words_; }
+  const std::uint64_t* begin() const { return words_; }
+  const std::uint64_t* end() const { return words_ + len_; }
+
+  friend bool operator==(const InlinePayload& a, const InlinePayload& b) {
+    if (a.len_ != b.len_) return false;
+    for (std::uint32_t i = 0; i < a.len_; ++i) {
+      if (a.words_[i] != b.words_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint32_t len_ = 0;
+  std::uint64_t words_[kInlineCapacity];  // words past len_ are indeterminate
+};
+
+using Payload = InlinePayload;
 
 /// A message as seen by a NodeProgram: sender plus opaque content.
 struct VMessage {
@@ -24,10 +126,10 @@ struct VMessage {
   Payload payload;
 };
 
-/// Default cap on content words per message. Each word is one O(log n)-bit
-/// field (an id, a hop count, a weight); the largest message in this repo is
-/// an MST edge record {weight, u, v, fragment(u), fragment(v)} -- five
-/// fields, i.e. still a single O(log n)-bit CONGEST message.
-inline constexpr std::uint32_t kDefaultMaxPayloadWords = 5;
+// The executor's staging buffers and delivery arenas rely on messages being
+// raw relocatable bytes; see docs/PERFORMANCE.md.
+static_assert(std::is_trivially_copyable_v<InlinePayload>);
+static_assert(std::is_trivially_copyable_v<VMessage>);
+static_assert(std::is_trivially_destructible_v<VMessage>);
 
 }  // namespace dasched

@@ -49,8 +49,8 @@ class CommunicationPattern {
   std::span<const std::uint32_t> edges_in_round(std::uint32_t round) const;
 
  private:
-  std::vector<std::vector<std::uint32_t>> by_round_;  // index r-1 -> edges
-  std::vector<std::uint32_t> edge_load_;              // per directed edge
+  std::vector<std::vector<std::uint32_t>> by_round_;  // perf-ok: index r-1 -> edges, opt-in recording
+  std::vector<std::uint32_t> edge_load_;  // perf-ok: per directed edge, sized once
   std::uint64_t total_ = 0;
 };
 

@@ -93,9 +93,9 @@ class ScheduleTable {
   }
 
   NodeId n_ = 0;
-  std::vector<std::uint32_t> rounds_;  // per algorithm
-  std::vector<std::size_t> base_;      // per algorithm offset into table_
-  std::vector<std::uint32_t> table_;   // big-rounds, all algorithms concatenated
+  std::vector<std::uint32_t> rounds_;  // perf-ok: per algorithm, built once
+  std::vector<std::size_t> base_;      // perf-ok: per algorithm offset into table_
+  std::vector<std::uint32_t> table_;   // perf-ok: big-rounds, built once per schedule
 };
 
 }  // namespace dasched

@@ -18,7 +18,7 @@
 namespace dasched {
 
 struct SoloRunResult {
-  std::vector<std::vector<std::uint64_t>> outputs;  // per node
+  std::vector<std::vector<std::uint64_t>> outputs;  // perf-ok: per node, filled once per run
   CommunicationPattern pattern;
   std::uint64_t total_messages = 0;
   /// Last virtual round in which any message was sent (<= algorithm rounds()).

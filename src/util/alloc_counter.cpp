@@ -1,0 +1,11 @@
+#include "util/alloc_counter.hpp"
+
+namespace dasched {
+
+// Weak default: overridden by the strong definition in alloc_hooks.cpp when a
+// binary opts into allocation counting. Object files added directly to a
+// target beat weak symbols pulled from the dasched_util archive, so the
+// override is purely additive.
+__attribute__((weak)) bool alloc_counting_linked() { return false; }
+
+}  // namespace dasched

@@ -1,0 +1,46 @@
+// Heap-allocation counters with link-time opt-in instrumentation.
+//
+// The executor's zero-allocation contract (docs/PERFORMANCE.md, "Memory
+// layout & allocation budget") is *measured*, not assumed: binaries that add
+// `src/util/alloc_hooks.cpp` to their sources (bench_e13_message_hotpath and
+// test_hotpath) get global operator new/delete overrides that bump the
+// counters below on every heap round-trip. Everywhere else the counters exist
+// but stay zero, so instrumentation sites -- the executor snapshots
+// `alloc_count()` around its big-round loop -- cost two relaxed loads per run
+// and nothing per allocation.
+//
+// The counters are relaxed atomics: they are throughput/regression meters,
+// not a synchronization mechanism, and the thread-pool workers may allocate
+// concurrently during warm-up rounds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dasched {
+
+struct AllocCounters {
+  std::atomic<std::uint64_t> allocations{0};    // operator new calls
+  std::atomic<std::uint64_t> deallocations{0};  // operator delete calls
+  std::atomic<std::uint64_t> bytes{0};          // total bytes requested
+};
+
+inline AllocCounters& alloc_counters() {
+  static AllocCounters counters;
+  return counters;
+}
+
+/// Allocations observed so far (0 in binaries without alloc_hooks.cpp).
+inline std::uint64_t alloc_count() {
+  return alloc_counters().allocations.load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t alloc_bytes() {
+  return alloc_counters().bytes.load(std::memory_order_relaxed);
+}
+
+/// True only in binaries that linked the operator new/delete overrides; lets
+/// tests skip zero-allocation assertions where the hooks are absent.
+bool alloc_counting_linked();
+
+}  // namespace dasched

@@ -1,0 +1,84 @@
+// Global operator new/delete overrides that feed util/alloc_counter.hpp.
+//
+// NOT part of dasched_util: add this file to the *sources of a binary* to opt
+// that binary into allocation counting (see bench/CMakeLists.txt for
+// bench_e13_message_hotpath and tests/CMakeLists.txt for test_hotpath).
+// Binaries that do not list it keep the toolchain's allocator untouched and
+// read 0 from every counter.
+//
+// The overrides forward to std::malloc/std::free, so sanitizer builds keep
+// working: ASan intercepts the malloc underneath and still provides redzones
+// and leak checking.
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc_counter.hpp"
+
+namespace dasched {
+bool alloc_counting_linked() { return true; }
+}  // namespace dasched
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  auto& c = dasched::alloc_counters();
+  c.allocations.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(size, std::memory_order_relaxed);
+  // Heap allocations of size 0 must return a unique pointer.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  auto& c = dasched::alloc_counters();
+  c.allocations.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded == 0 ? align : padded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  dasched::alloc_counters().deallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }

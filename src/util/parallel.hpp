@@ -48,6 +48,16 @@ class ThreadPool {
   /// inside a task, and only one run() may be active at a time.
   void run(std::uint32_t num_shards, const std::function<void(std::uint32_t)>& task);
 
+  /// Like run(), but dispatches an arbitrary callable through one reference
+  /// capture so the internal std::function stays within its small-object
+  /// buffer -- no heap allocation per batch, however large `body`'s own
+  /// capture list is. This is what keeps the executor's per-big-round
+  /// dispatch off the allocator (docs/PERFORMANCE.md).
+  template <typename F>
+  void run_ctx(std::uint32_t num_shards, F& body) {
+    run(num_shards, [&body](std::uint32_t shard) { body(shard); });
+  }
+
   /// std::thread::hardware_concurrency() clamped to >= 1.
   static unsigned hardware_workers();
 

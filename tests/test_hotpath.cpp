@@ -1,0 +1,337 @@
+// The zero-allocation message hot path (docs/PERFORMANCE.md, "Memory layout
+// & allocation budget"):
+//   * InlinePayload: fixed-capacity inline storage semantics, the capacity
+//     boundary at kInlineCapacity words, and the hard abort on overflow.
+//   * POD discipline: the message types the engine moves by memcpy must stay
+//     trivially copyable.
+//   * Engine equivalence: the arena-backed executor must be bit-identical
+//     across thread counts, across repeated runs of one (warmed-up) Executor,
+//     and under fault injection -- the CSR inbox rewrite is pure perf.
+//   * The steady-state allocation contract itself: this binary links
+//     util/alloc_hooks.cpp, so ExecutionResult::hot_path_allocs is a real
+//     allocator measurement and must read ZERO from the second run onward.
+//   * RetryQueue::drain_into: the allocation-free drain must preserve take()
+//     semantics (FIFO per round, pending accounting).
+#include <gtest/gtest.h>
+
+#include "congest/executor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/reliable.hpp"
+#include "graph/generators.hpp"
+#include "sched/shared_scheduler.hpp"
+#include "sched/workloads.hpp"
+#include "util/alloc_counter.hpp"
+
+namespace dasched {
+namespace {
+
+// --- InlinePayload semantics. ---
+
+static_assert(std::is_trivially_copyable_v<InlinePayload>);
+static_assert(std::is_trivially_copyable_v<VMessage>);
+static_assert(std::is_trivially_destructible_v<VMessage>);
+static_assert(InlinePayload::kInlineCapacity >= kDefaultMaxPayloadWords);
+
+TEST(InlinePayload, BasicSemantics) {
+  Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.capacity(), InlinePayload::kInlineCapacity);
+
+  p.push_back(7);
+  p.push_back(11);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 7u);
+  EXPECT_EQ(p.at(1), 11u);
+  EXPECT_EQ(p.front(), 7u);
+  EXPECT_EQ(p.back(), 11u);
+
+  const Payload q{7, 11};
+  EXPECT_EQ(p, q);
+  EXPECT_FALSE(p == Payload{7});
+  EXPECT_FALSE(p == (Payload{7, 12}));
+
+  std::uint64_t sum = 0;
+  for (const auto w : p) sum += w;
+  EXPECT_EQ(sum, 18u);
+
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p == q);
+}
+
+TEST(InlinePayload, FillConstructorAndEqualityIgnoreStaleTail) {
+  // Equality must compare only the live prefix: a payload that shrank still
+  // holds stale words beyond size().
+  Payload a(3, 5);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a, (Payload{5, 5, 5}));
+  a.clear();
+  a.push_back(5);
+  EXPECT_EQ(a, Payload{5});
+}
+
+TEST(InlinePayload, CapacityBoundaryHoldsExactlyKWords) {
+  Payload p;
+  for (std::uint64_t i = 0; i < InlinePayload::kInlineCapacity; ++i) p.push_back(i);
+  EXPECT_EQ(p.size(), InlinePayload::kInlineCapacity);
+  const Payload full(InlinePayload::kInlineCapacity, 9);
+  EXPECT_EQ(full.size(), InlinePayload::kInlineCapacity);
+}
+
+TEST(InlinePayloadDeathTest, PushBeyondCapacityAborts) {
+  Payload p(InlinePayload::kInlineCapacity, 1);
+  EXPECT_DEATH(p.push_back(2), "word budget");
+}
+
+TEST(InlinePayloadDeathTest, OversizedConstructionAborts) {
+  EXPECT_DEATH(Payload(InlinePayload::kInlineCapacity + 1, 1), "word budget");
+  EXPECT_DEATH((Payload{1, 2, 3, 4, 5, 6}), "word budget");
+}
+
+TEST(InlinePayloadDeathTest, ExecutorRejectsConfigsBeyondInlineCapacity) {
+  const auto g = make_path(4);
+  ExecConfig cfg;
+  cfg.max_payload_words = InlinePayload::kInlineCapacity + 1;
+  EXPECT_DEATH(Executor(g, cfg), "inline payload capacity");
+}
+
+// --- Engine equivalence: the arena/CSR engine is pure perf. ---
+
+struct Instance {
+  Graph g;
+  std::unique_ptr<ScheduleProblem> problem;
+  std::vector<const DistributedAlgorithm*> algos;
+  ScheduleTable schedule;
+};
+
+Instance make_instance() {
+  Rng rng(11);
+  Instance in{make_gnp_connected(150, 6.0 / 150, rng), nullptr, {}, {}};
+  in.problem = make_mixed_workload(in.g, 10, 4, 77);
+  in.problem->run_solo();
+  in.algos = in.problem->algorithm_ptrs();
+  const auto delays = SharedRandomnessScheduler::draw_delays(77, in.algos.size(), 9, 4);
+  in.schedule = ScheduleTable::from_delays(in.algos, in.g.num_nodes(), delays);
+  return in;
+}
+
+void expect_identical(const ExecutionResult& a, const ExecutionResult& b) {
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.causality_violations, b.causality_violations);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.num_big_rounds, b.num_big_rounds);
+  EXPECT_EQ(a.max_load_per_big_round, b.max_load_per_big_round);
+  EXPECT_EQ(a.max_edge_load, b.max_edge_load);
+  EXPECT_EQ(a.faults, b.faults);
+}
+
+constexpr std::uint32_t kThreadCounts[] = {0, 1, 2, 4, 7};
+
+TEST(HotPathEngine, CleanRunsIdenticalAcrossThreadCounts) {
+  const Instance in = make_instance();
+  ExecutionResult serial;
+  for (const auto threads : kThreadCounts) {
+    ExecConfig cfg;
+    cfg.num_threads = threads;
+    const auto result = Executor(in.g, cfg).run(in.algos, in.schedule);
+    if (threads == 0) {
+      serial = result;
+      EXPECT_TRUE(result.all_completed());
+    } else {
+      expect_identical(serial, result);
+    }
+  }
+}
+
+FaultPlan messy_plan() {
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.03;
+  return plan;
+}
+
+TEST(HotPathEngine, FaultyRunsIdenticalAcrossThreadCounts) {
+  const Instance in = make_instance();
+  FaultPlan plan = messy_plan();
+  add_random_crashes(plan, in.g.num_nodes(), 3, 10);
+  const FaultInjector injector(in.g, plan);
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  const auto stretched = stretch_for_retries(in.schedule, retry);
+
+  ExecutionResult serial;
+  for (const auto threads : kThreadCounts) {
+    ExecConfig cfg;
+    cfg.num_threads = threads;
+    cfg.faults = &injector;
+    cfg.retry = retry;
+    const auto result = Executor(in.g, cfg).run(in.algos, stretched);
+    if (threads == 0) {
+      serial = result;
+    } else {
+      expect_identical(serial, result);
+    }
+  }
+}
+
+TEST(HotPathEngine, RepeatedRunsOfOneExecutorAreIdentical) {
+  // Scratch arenas are recycled across runs; recycling must be invisible.
+  const Instance in = make_instance();
+  ExecConfig cfg;
+  cfg.num_threads = 2;
+  Executor executor(in.g, cfg);
+  const auto first = executor.run(in.algos, in.schedule);
+  const auto second = executor.run(in.algos, in.schedule);
+  const auto third = executor.run(in.algos, in.schedule);
+  expect_identical(first, second);
+  expect_identical(first, third);
+}
+
+// --- The steady-state allocation contract, measured. ---
+
+TEST(HotPathAllocations, CountersAreLinkedIntoThisBinary) {
+  ASSERT_TRUE(alloc_counting_linked());
+  const std::uint64_t before = alloc_count();
+  // A direct operator-new call: new-*expressions* may be elided by the
+  // optimizer, direct calls may not.
+  void* p = ::operator new(64);
+  ::operator delete(p);
+  EXPECT_GT(alloc_count(), before);
+}
+
+TEST(HotPathAllocations, SteadyStateMessagePathIsAllocationFree) {
+  // The mixed workload's programs may allocate internally, so this contract
+  // is checked with the flood-style schedule the perf bench uses: broadcast
+  // is allocation-free in on_round.
+  Rng rng(5);
+  const Graph g = make_gnp_connected(200, 6.0 / 200, rng);
+  auto problem = make_mixed_workload(g, 6, 3, 55);
+  problem->run_solo();
+  const auto algos = problem->algorithm_ptrs();
+  const auto delays =
+      SharedRandomnessScheduler::draw_delays(55, algos.size(), 5, 3);
+  const auto schedule = ScheduleTable::from_delays(algos, g.num_nodes(), delays);
+
+  Executor executor(g, {});
+  const auto warm = executor.run(algos, schedule);  // grows arenas
+  const auto steady = executor.run(algos, schedule);
+  expect_identical(warm, steady);
+  // The warmed-up big-round loop itself must be allocation-free *except* for
+  // what the programs allocate. The mixed workload is not guaranteed
+  // allocation-free, so assert the engine's floor via a second executor on
+  // the same schedule: the delta between runs must not grow.
+  const auto third = executor.run(algos, schedule);
+  EXPECT_EQ(steady.hot_path_allocs, third.hot_path_allocs);
+}
+
+/// Allocation-free flood program (mirrors bench_e13): every on_round
+/// allocation observed while running it is the engine's fault.
+class FloodProgram final : public NodeProgram {
+ public:
+  explicit FloodProgram(NodeId self) : self_(self) {}
+  void on_round(VirtualContext& ctx) override {
+    absorb(ctx);
+    const Payload p{std::uint64_t{self_}, std::uint64_t{ctx.vround()}, acc_};
+    for (const auto& h : ctx.neighbors()) ctx.send(h.neighbor, p);
+  }
+  void on_finish(VirtualContext& ctx) override { absorb(ctx); }
+  std::vector<std::uint64_t> output() const override { return {acc_}; }
+
+ private:
+  void absorb(VirtualContext& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      for (const auto w : m.payload) acc_ ^= w + 0x9e3779b97f4a7c15ull + m.from;
+    }
+  }
+  NodeId self_;
+  std::uint64_t acc_ = 0;
+};
+
+class FloodAlgorithm final : public DistributedAlgorithm {
+ public:
+  FloodAlgorithm(std::uint32_t rounds, std::uint64_t base_seed)
+      : DistributedAlgorithm(base_seed), rounds_(rounds) {}
+  std::string name() const override { return "flood"; }
+  std::uint32_t rounds() const override { return rounds_; }
+  std::unique_ptr<NodeProgram> make_program(NodeId node) const override {
+    return std::make_unique<FloodProgram>(node);
+  }
+
+ private:
+  std::uint32_t rounds_;
+};
+
+TEST(HotPathAllocations, WarmedEngineReportsZeroHotPathAllocs) {
+  Rng rng(13);
+  const Graph g = make_gnp_connected(300, 6.0 / 300, rng);
+  std::vector<std::unique_ptr<FloodAlgorithm>> owned;
+  std::vector<const DistributedAlgorithm*> algos;
+  std::vector<std::uint32_t> delays;
+  for (std::size_t a = 0; a < 5; ++a) {
+    owned.push_back(std::make_unique<FloodAlgorithm>(8, 900 + a));
+    algos.push_back(owned.back().get());
+    delays.push_back(static_cast<std::uint32_t>(a));
+  }
+  const auto schedule = ScheduleTable::from_delays(algos, g.num_nodes(), delays);
+
+  for (const std::uint32_t threads : {0u, 2u}) {
+    ExecConfig cfg;
+    cfg.num_threads = threads;
+    Executor executor(g, cfg);
+    const auto warm = executor.run(algos, schedule);
+    EXPECT_GT(warm.total_messages, 0u);
+    const auto steady = executor.run(algos, schedule);
+    expect_identical(warm, steady);
+    EXPECT_EQ(steady.hot_path_allocs, 0u)
+        << "steady-state big-round loop allocated (threads=" << threads << ")";
+    EXPECT_EQ(executor.run(algos, schedule).hot_path_allocs, 0u);
+  }
+}
+
+// --- RetryQueue::drain_into == take(), without the allocation. ---
+
+TEST(RetryQueue, DrainIntoMatchesTakeSemantics) {
+  struct Msg {
+    std::uint32_t id;
+  };
+  RetryQueue<Msg> q;
+  q.schedule(3, {1}, 1);
+  q.schedule(3, {2}, 2);
+  q.schedule(5, {3}, 1);
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_EQ(q.last_round(), 5u);
+
+  std::vector<RetryQueue<Msg>::Entry> due;
+  q.drain_into(3, due);
+  ASSERT_EQ(due.size(), 2u);  // FIFO per round
+  EXPECT_EQ(due[0].msg.id, 1u);
+  EXPECT_EQ(due[0].attempt, 1u);
+  EXPECT_EQ(due[1].msg.id, 2u);
+  EXPECT_EQ(due[1].attempt, 2u);
+  EXPECT_EQ(q.pending(), 1u);
+
+  q.drain_into(4, due);  // empty round clears the buffer
+  EXPECT_TRUE(due.empty());
+  q.drain_into(99, due);  // beyond any bucket
+  EXPECT_TRUE(due.empty());
+
+  // The drained bucket's storage is recycled: scheduling into a fresh round
+  // after draining must not lose entries or break ordering.
+  q.schedule(7, {4}, 1);
+  q.schedule(7, {5}, 1);
+  q.drain_into(5, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].msg.id, 3u);
+  q.drain_into(7, due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].msg.id, 4u);
+  EXPECT_EQ(due[1].msg.id, 5u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace dasched

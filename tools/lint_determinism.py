@@ -19,6 +19,14 @@ patterns quietly break that guarantee long before a test notices:
                         thread pool: float addition is not associative, so
                         sharded reduction order changes the result. Integer
                         accumulators or a fixed reduction order are required.
+  hot-path-vector       an owning std::vector member of a struct/class under
+                        src/congest/: the message hot path is allocation-free
+                        in steady state (docs/PERFORMANCE.md, "Memory layout &
+                        allocation budget"), and a per-instance vector is how
+                        per-message allocation sneaks back in. Store data
+                        inline, use a recycled arena, or annotate the member
+                        with `perf-ok` (arena/capacity-reused vectors) or
+                        `det-ok: hot-path-vector`.
 
 This is a line-based heuristic lint, not a compiler: it trades soundness for
 zero dependencies. False positives are suppressed inline with
@@ -66,6 +74,17 @@ FLOAT_DECL_RE = re.compile(
 FLOAT_ACCUM_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*[+\-]=")
 THREADED_RE = re.compile(r"ThreadPool|parallel_for|util/parallel")
 
+# Directories whose struct/class members sit on the message hot path.
+HOT_PATH_DIRS = ("src/congest/",)
+# An owning vector member: `std::vector<...> name;` (or with initializer).
+VECTOR_MEMBER_RE = re.compile(
+    r"\bstd::vector\s*<.*>\s+[A-Za-z_]\w*\s*(?:;|=|\{)"
+)
+# A struct/class head opening a record body (template params stripped first so
+# `template <class T>` does not look like a record head).
+RECORD_HEAD_RE = re.compile(r"\b(?:struct|class)\b[^;=]*$")
+PERF_OK_RE = re.compile(r"//\s*perf-ok")
+
 # util/rng.hpp is the one sanctioned home of raw engines; the lint itself and
 # third-party code are out of scope.
 RAW_RNG_EXEMPT = ("util/rng.hpp",)
@@ -111,6 +130,43 @@ def suppressed(rule: str, lines: list[str], idx: int) -> bool:
             if m and m.group(1) == rule:
                 return True
     return False
+
+
+def perf_ok(lines: list[str], idx: int) -> bool:
+    """`// perf-ok [reason]` on the line or the line above: the member is an
+    arena/capacity-recycled buffer, not a per-message allocation."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines) and PERF_OK_RE.search(lines[probe]):
+            return True
+    return False
+
+
+def record_member_lines(code: list[str]) -> set[int]:
+    """Indices of lines whose innermost enclosing scope (at line start) is a
+    struct/class body -- i.e. lines declaring members, not locals. A simple
+    brace tracker: each `{` is classified by the text accumulated since the
+    last `{`, `}`, or `;` at its level."""
+    stack: list[str] = []
+    buf = ""
+    member_lines: set[int] = set()
+    for idx, line in enumerate(code):
+        if stack and stack[-1] == "record":
+            member_lines.add(idx)
+        for ch in line:
+            if ch == "{":
+                head = re.sub(r"<[^<>]*>", "", buf)
+                stack.append("record" if RECORD_HEAD_RE.search(head) else "other")
+                buf = ""
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                buf = ""
+            elif ch == ";":
+                buf = ""
+            else:
+                buf += ch
+        buf += " "
+    return member_lines
 
 
 def lint_file(path: Path) -> list[Finding]:
@@ -166,6 +222,20 @@ def lint_file(path: Path) -> list[Finding]:
                     "is not associative, so shard order changes the sum; "
                     "accumulate in integers or fix the reduction order",
                 ))
+
+    # --- hot-path-vector (only for struct/class members under src/congest/) ---
+    if any(d in rel for d in HOT_PATH_DIRS):
+        for idx in sorted(record_member_lines(code)):
+            if not VECTOR_MEMBER_RE.search(code[idx]):
+                continue
+            if suppressed("hot-path-vector", lines, idx) or perf_ok(lines, idx):
+                continue
+            findings.append(Finding(
+                path, idx + 1, "hot-path-vector",
+                "owning std::vector member in a hot-path struct: the steady-"
+                "state message path must not allocate (docs/PERFORMANCE.md); "
+                "store inline, recycle an arena, or annotate with perf-ok",
+            ))
     return findings
 
 
@@ -201,6 +271,27 @@ SELF_TEST_EXPECT = [
     (6, "raw-rng"),
 ]
 
+# Exercises the hot-path-vector rule: must live under src/congest/ (the rule
+# is path-gated), flag only *members*, and honor both suppression spellings.
+SELF_TEST_HOT_PATH = """\
+#include <vector>
+struct Inbox {
+  std::vector<int> messages;
+  // perf-ok: arena -- capacity recycled across rounds
+  std::vector<int> arena;
+  std::vector<int> pool;  // det-ok: hot-path-vector -- rebuilt once per run
+  int count = 0;
+};
+void local_vectors_are_fine() {
+  std::vector<int> scratch;
+  for (int i = 0; i < 4; ++i) scratch.push_back(i);
+}
+"""
+
+SELF_TEST_HOT_PATH_EXPECT = [
+    (3, "hot-path-vector"),
+]
+
 
 def self_test() -> int:
     import tempfile
@@ -209,11 +300,33 @@ def self_test() -> int:
         bad = Path(tmp) / "bad.cpp"
         bad.write_text(SELF_TEST_BAD, encoding="utf-8")
         found = [(f.lineno, f.rule) for f in lint_file(bad)]
+        congest = Path(tmp) / "src" / "congest"
+        congest.mkdir(parents=True)
+        hot = congest / "hot.hpp"
+        hot.write_text(SELF_TEST_HOT_PATH, encoding="utf-8")
+        found_hot = [(f.lineno, f.rule) for f in lint_file(hot)]
+        # The same file outside src/congest/ must be exempt from the rule.
+        elsewhere = Path(tmp) / "hot.hpp"
+        elsewhere.write_text(SELF_TEST_HOT_PATH, encoding="utf-8")
+        found_elsewhere = [(f.lineno, f.rule) for f in lint_file(elsewhere)]
+    ok = True
     if sorted(found) != sorted(SELF_TEST_EXPECT):
         print(f"self-test FAILED: expected {sorted(SELF_TEST_EXPECT)}, got {sorted(found)}",
               file=sys.stderr)
+        ok = False
+    if sorted(found_hot) != sorted(SELF_TEST_HOT_PATH_EXPECT):
+        print(f"self-test FAILED (hot-path-vector): expected "
+              f"{sorted(SELF_TEST_HOT_PATH_EXPECT)}, got {sorted(found_hot)}",
+              file=sys.stderr)
+        ok = False
+    if found_elsewhere:
+        print(f"self-test FAILED (hot-path-vector path gate): expected no "
+              f"findings outside src/congest/, got {sorted(found_elsewhere)}",
+              file=sys.stderr)
+        ok = False
+    if not ok:
         return 2
-    print("self-test passed: 3 seeded findings caught, 2 suppressions honored")
+    print("self-test passed: 4 seeded findings caught, 4 suppressions/gates honored")
     return 0
 
 
