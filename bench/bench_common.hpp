@@ -18,6 +18,11 @@
 //                       schedules (bench::num_threads(); 0 = serial). Results
 //                       are bit-identical for every value -- this flag only
 //                       changes wall-clock time (docs/PERFORMANCE.md).
+//   --profile           turn on the congestion profiler for benches that run
+//                       schedules (bench::profiler(); null when off, so the
+//                       executor stays on its unprofiled path). The last
+//                       profiled run's dasched.profile.v1 object is attached
+//                       to the --report document.
 // Tables are routed through bench::emit(table), which both prints the ASCII
 // form and records the table into the report.
 #pragma once
@@ -33,6 +38,7 @@
 #include "util/flags.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/run_report.hpp"
 #include "util/table.hpp"
 
@@ -55,6 +61,8 @@ struct ReportState {
   std::string report_path;
   std::string trace_path;
   std::uint32_t num_threads = 0;
+  bool profile = false;
+  ExecProfiler profiler;
 
   ReportState() {
     tee.add(&metrics);
@@ -82,6 +90,14 @@ inline TelemetrySink* telemetry() {
 /// execute schedules thread this into their scheduler/executor configs.
 inline std::uint32_t num_threads() { return report_state().num_threads; }
 
+/// Congestion profiler benches can hand to ExecConfig::profiler /
+/// scheduler configs. Null unless --profile was given, keeping the executor
+/// on its unprofiled path by default.
+inline ExecProfiler* profiler() {
+  auto& s = report_state();
+  return s.profile ? &s.profiler : nullptr;
+}
+
 /// Prints the table (the stdout reproduction artifact) and records it into
 /// the --report document.
 inline void emit(const Table& table) {
@@ -107,6 +123,8 @@ inline bool consume_report_flags(int* argc, char** argv) {
         return false;
       }
       *target = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      s.profile = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= *argc) {
         std::fprintf(stderr, "--threads requires a count argument\n");
@@ -131,6 +149,14 @@ inline int flush_reports(const char* bench_name) {
   int rc = 0;
   if (!s.report_path.empty()) {
     s.report.set_meta("bench", bench_name);
+#ifdef DASCHED_BUILD_TYPE
+    s.report.set_meta("build_type", DASCHED_BUILD_TYPE);
+#else
+    s.report.set_meta("build_type", "unknown");
+#endif
+    if (s.profile && s.profiler.runs() > 0) {
+      s.report.set_profile_json(s.profiler.to_json());
+    }
     if (!s.metrics.empty()) s.report.attach_metrics(s.metrics);
     if (!s.report.write_file(s.report_path)) {
       std::fprintf(stderr, "failed to write report to %s\n", s.report_path.c_str());

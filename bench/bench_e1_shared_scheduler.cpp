@@ -32,6 +32,7 @@ void run_row(Table& table, const Graph& g, std::size_t k, std::uint32_t radius,
   cfg.shared_seed = seed;
   cfg.num_threads = bench::num_threads();
   cfg.telemetry = bench::telemetry();
+  cfg.profiler = bench::profiler();
   const auto out = SharedRandomnessScheduler(cfg).run(*problem);
   const bool ok = problem->verify(out.exec).ok();
 

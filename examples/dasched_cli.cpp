@@ -2,7 +2,7 @@
 //
 //   dasched_cli [--graph FAMILY] [--n N] [--k K] [--radius R]
 //               [--workload KIND] [--scheduler NAME] [--seed S] [--threads T]
-//               [--verify]
+//               [--verify] [--profile] [--flight OUT.flight.json]
 //               [--fault-seed S] [--drop-rate P] [--dup-rate P] [--crash K]
 //               [--outages K] [--retries R]
 //               [--report OUT.json] [--trace OUT.trace.json]
@@ -41,6 +41,19 @@
 // when any error-severity finding is raised. With --retries R the
 // retry-stretched schedule is additionally verified with the 2^R headroom
 // invariant (the static form of the stretch lemma in docs/FAULTS.md).
+//
+// --profile attaches an ExecProfiler (docs/OBSERVABILITY.md) to the profiled
+// executions (shared/private schedulers and the faulty runs): prints top-N
+// hot-edge / hot-round heatmap tables, embeds a `profile` section in the
+// --report JSON, and -- combined with --verify -- joins the measured load
+// surface against the verifier's statically predicted one (the divergence
+// monitor; on a reliable run the surfaces must agree exactly).
+//
+// --flight OUT.flight.json attaches a bounded flight recorder: the most
+// recent deliveries, drops, retries, and barrier summaries per worker ring.
+// The executor dumps it automatically on admission rejection, unit-capacity
+// overflow, or crash-stop faults; the CLI writes a final dump on exit if no
+// incident dumped one first.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,9 +76,12 @@
 #include "sched/workloads.hpp"
 #include "util/math.hpp"
 #include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics_registry.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/run_report.hpp"
 #include "util/table.hpp"
+#include "verify/divergence.hpp"
 #include "verify/schedule_verifier.hpp"
 
 namespace {
@@ -82,8 +98,10 @@ struct Options {
   std::uint64_t seed = 1;
   std::uint32_t threads = 0;  // executor workers; 0 = serial
   bool verify_schedules = false;  // --verify: static checks on every schedule
+  bool profile = false;       // --profile: congestion profiler + hot tables
   std::string report_path;    // --report: structured JSON run report
   std::string trace_path;     // --trace: Chrome trace_event JSON
+  std::string flight_path;    // --flight: flight-recorder post-mortem JSON
 
   // Fault-injection flags (docs/FAULTS.md).
   std::uint64_t fault_seed = 1;
@@ -103,7 +121,8 @@ struct Options {
                "usage: %s [--graph gnp|grid|torus|path|cycle|tree|regular] [--n N]\n"
                "          [--k K] [--radius R] [--workload mixed|broadcast|bfs|routing]\n"
                "          [--scheduler all|sequential|greedy|shared|private|global|doubling]\n"
-               "          [--seed S] [--threads T] [--verify] [--fault-seed S]\n"
+               "          [--seed S] [--threads T] [--verify] [--profile]\n"
+               "          [--flight OUT.flight.json] [--fault-seed S]\n"
                "          [--drop-rate P] [--dup-rate P] [--crash K] [--outages K]\n"
                "          [--retries R] [--report OUT.json] [--trace OUT.trace.json]\n",
                argv0);
@@ -120,6 +139,10 @@ Options parse(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--verify") == 0) {
       opt.verify_schedules = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      opt.profile = true;
+    } else if (const char* vfl = need("--flight")) {
+      opt.flight_path = vfl;
     } else if (const char* v = need("--graph")) {
       opt.graph = v;
     } else if (const char* v2 = need("--n")) {
@@ -188,6 +211,38 @@ int main(int argc, char** argv) {
   std::printf("congestion=%u dilation=%u trivial-LB=%u\n\n", probe->congestion(),
               probe->dilation(), probe->trivial_lower_bound());
 
+  // --profile: one congestion profiler shared by every profiled execution
+  // (each run resets it); the report embeds the last profiled run's snapshot.
+  ExecProfiler profiler;
+  ExecProfiler* const prof = opt.profile ? &profiler : nullptr;
+  // --flight: a bounded flight recorder whose post-mortem dumps land at the
+  // given path (the executor dumps automatically on incidents).
+  FlightRecorderConfig flight_cfg;
+  flight_cfg.dump_path = opt.flight_path;
+  FlightRecorder recorder(flight_cfg);
+  FlightRecorder* const rec = opt.flight_path.empty() ? nullptr : &recorder;
+
+  auto edge_label = [&](std::uint32_t d) {
+    const auto [lo, hi] = g.endpoints(d / 2);
+    const NodeId from = (d % 2 == 0) ? lo : hi;
+    const NodeId to = (d % 2 == 0) ? hi : lo;
+    return std::to_string(from) + "->" + std::to_string(to);
+  };
+  std::string profile_json;
+  std::string profiled_name;
+  std::vector<Table> profile_tables;
+  // Captures the profiler's last run (tables + JSON + telemetry); the tables
+  // are printed after the schedulers summary so output stays grouped.
+  auto render_profile = [&](const std::string& name) {
+    if (prof == nullptr || profiler.runs() == 0) return;
+    profile_tables.clear();
+    profile_tables.push_back(profiler.hot_edges_table(10, edge_label));
+    profile_tables.push_back(profiler.hot_rounds_table(10));
+    profiler.emit(sink);
+    profile_json = profiler.to_json();
+    profiled_name = name;
+  };
+
   Table table("schedulers");
   table.set_header({"scheduler", "schedule rounds", "pre rounds", "correct", "verify"});
   auto want = [&](const char* name) {
@@ -197,18 +252,37 @@ int main(int argc, char** argv) {
   // Static verification (--verify): per-scheduler findings, merged into the
   // run report and summed into the exit status.
   std::vector<std::pair<std::string, verify::Report>> verify_reports;
+  std::vector<std::string> divergence_lines;
   std::uint64_t verify_errors = 0;
   auto verify_cell = [&](const char* name, ScheduleProblem& p,
-                         const ScheduleTable& sched,
-                         verify::VerifyOptions vopts) -> std::string {
+                         const ScheduleTable& sched, verify::VerifyOptions vopts,
+                         std::vector<LoadCell>* static_loads = nullptr) -> std::string {
     if (!opt.verify_schedules) return "-";
     vopts.telemetry = sink;
-    auto vr = verify::check_schedule(p, sched, vopts);
+    auto vr = verify::check_schedule(p, sched, vopts, static_loads);
     const std::string cell =
         vr.ok() ? "clean" : Table::fmt(vr.errors()) + " errors";
     verify_errors += vr.errors();
     verify_reports.emplace_back(name, std::move(vr));
     return cell;
+  };
+  // --profile + --verify on a reliable run: join the measured load surface
+  // against the statically predicted one. They must agree exactly
+  // (docs/VERIFICATION.md, divergence.* codes); any warning is a divergence.
+  auto divergence_check = [&](const char* name,
+                              const std::vector<LoadCell>& predicted) {
+    if (prof == nullptr || !opt.verify_schedules || profiler.runs() == 0) return;
+    verify::DivergenceOptions dopts;
+    dopts.scheduled_big_rounds = verify_reports.empty()
+                                     ? 0
+                                     : verify_reports.back().second.measured.big_rounds;
+    dopts.telemetry = sink;
+    auto dr = verify::check_divergence(predicted, profiler, dopts);
+    divergence_lines.push_back(
+        std::string("divergence (") + name + "): " +
+        (dr.warnings() == 0 ? "measured == predicted"
+                            : "MEASURED != PREDICTED -- see findings"));
+    verify_reports.emplace_back(std::string(name) + "-divergence", std::move(dr));
   };
 
   if (want("sequential")) {
@@ -237,12 +311,17 @@ int main(int argc, char** argv) {
     cfg.shared_seed = opt.seed;
     cfg.num_threads = opt.threads;
     cfg.telemetry = sink;
+    cfg.profiler = prof;
     const auto out = SharedRandomnessScheduler(cfg).run(*p);
     verify::VerifyOptions vopts;
     vopts.phase_len = out.phase_len;  // congestion is w.h.p., so measure only
+    std::vector<LoadCell> predicted;
     table.add_row({"shared (Thm 1.1)", Table::fmt(out.schedule_rounds), "0",
                    p->verify(out.exec).ok() ? "yes" : "NO",
-                   verify_cell("shared", *p, out.schedule, vopts)});
+                   verify_cell("shared", *p, out.schedule, vopts,
+                               prof != nullptr ? &predicted : nullptr)});
+    render_profile("shared");
+    divergence_check("shared", predicted);
   }
   if (want("private")) {
     auto p = make_problem(g, opt);
@@ -250,15 +329,20 @@ int main(int argc, char** argv) {
     cfg.seed = opt.seed;
     cfg.num_threads = opt.threads;
     cfg.telemetry = sink;
+    cfg.profiler = prof;
     const auto out = PrivateRandomnessScheduler(cfg).run(*p);
     verify::VerifyOptions vopts;
     vopts.phase_len = out.phase_len;
     vopts.delay_support = out.delay_support;  // Lemma 4.4 block membership
     vopts.check_delay_monotonic = true;
+    std::vector<LoadCell> predicted;
     table.add_row({"private (Thm 4.1)", Table::fmt(out.schedule_rounds),
                    Table::fmt(out.precomputation_rounds),
                    (p->verify(out.exec).ok() && out.uncovered_nodes == 0) ? "yes" : "NO",
-                   verify_cell("private", *p, out.schedule, vopts)});
+                   verify_cell("private", *p, out.schedule, vopts,
+                               prof != nullptr ? &predicted : nullptr)});
+    render_profile("private");
+    divergence_check("private", predicted);
   }
   if (want("global")) {
     auto p = make_problem(g, opt);
@@ -283,6 +367,11 @@ int main(int argc, char** argv) {
                    verify_cell("doubling", *p, out.final.schedule, vopts)});
   }
   table.print(std::cout);
+  for (const auto& t : profile_tables) {
+    std::printf("\n");
+    t.print(std::cout);
+  }
+  for (const auto& line : divergence_lines) std::printf("%s\n", line.c_str());
 
   // --- Faulty execution of the Theorem 1.1 schedule (docs/FAULTS.md). ---
   Table fault_table("faulty execution (Thm 1.1 schedule)");
@@ -328,6 +417,8 @@ int main(int argc, char** argv) {
       ExecConfig ecfg;
       ecfg.num_threads = opt.threads;
       ecfg.telemetry = sink;
+      ecfg.profiler = prof;
+      ecfg.recorder = rec;
       ecfg.faults = &injector;
       ecfg.retry = retry;
       const auto exec = Executor(g, ecfg).run(algos, sched);
@@ -369,6 +460,14 @@ int main(int argc, char** argv) {
     slack_table = slack.to_table("schedule slack (no-retries run, phase_len = " +
                                  std::to_string(phase_len) + ")");
     slack_table.print(std::cout);
+
+    // The profiler now holds the last faulty run's surface (the retry run
+    // when --retries was given, the unprotected one otherwise).
+    render_profile(opt.retries > 0 ? "faulty+retries" : "faulty");
+    for (const auto& t : profile_tables) {
+      std::printf("\n");
+      t.print(std::cout);
+    }
   }
 
   if (opt.verify_schedules) {
@@ -412,6 +511,11 @@ int main(int argc, char** argv) {
     for (const auto& [name, vr] : verify_reports) {
       vr.to_run_report(report, "sched=" + name);
     }
+    if (!profile_json.empty()) {
+      report.set_meta("profiled", profiled_name);
+      for (const auto& t : profile_tables) report.add_table(t);
+      report.set_profile_json(profile_json);
+    }
     report.attach_metrics(metrics);
     if (report.write_file(opt.report_path)) {
       std::printf("\nreport written to %s\n", opt.report_path.c_str());
@@ -428,6 +532,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write trace to %s\n", opt.trace_path.c_str());
       rc = 1;
     }
+  }
+  if (rec != nullptr) {
+    // Incident dumps (crash faults, overflows) already landed; otherwise
+    // leave a final snapshot so --flight always produces a file.
+    if (rec->dumps_written() == 0) rec->dump_on("end_of_run");
+    std::printf("flight recorder dump written to %s (last reason: %s)\n",
+                opt.flight_path.c_str(), rec->last_reason().c_str());
   }
   if (verify_errors > 0) rc = 1;
   return rc;

@@ -199,9 +199,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
   // --- Admission gate: consulted once, before any event executes. A null
   // gate costs nothing; a rejection is a hard contract failure. ---
-  if (cfg_.admission != nullptr) {
-    DASCHED_CHECK_MSG(cfg_.admission->admit(algorithms, schedule),
-                      "schedule rejected by the admission gate");
+  if (cfg_.admission != nullptr && !cfg_.admission->admit(algorithms, schedule)) {
+    // Post-mortem before aborting: with a recorder attached the rejection
+    // leaves a dump (rings from any previous run of this recorder, or empty).
+    if (cfg_.recorder != nullptr) cfg_.recorder->dump_on("admission_rejected");
+    DASCHED_CHECK_MSG(false, "schedule rejected by the admission gate");
   }
 
   ExecScratch& scratch = *scratch_;
@@ -356,6 +358,22 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     run_span.arg("events", static_cast<double>(total_events));
   }
 
+  // --- Congestion profiler + flight recorder (docs/OBSERVABILITY.md). Both
+  // are sized HERE, before the steady-state window opens: chained
+  // retransmissions extend the horizon by at most sum_{i<R} 2^i = 2^R - 1
+  // big-rounds, so the profiler's per-round accumulators never resize inside
+  // the loop even on faulty runs. Null pointers keep the engine byte-for-byte
+  // the uninstrumented executor. ---
+  ExecProfiler* const profiler = cfg_.profiler;
+  FlightRecorder* const recorder = cfg_.recorder;
+  const std::uint32_t round_headroom =
+      max_retries > 0 ? (1u << max_retries) - 1 : 0;
+  if (profiler != nullptr) {
+    profiler->begin_run(graph_.num_directed_edges(), num_big_rounds, num_workers,
+                        round_headroom);
+  }
+  if (recorder != nullptr) recorder->begin_run(num_workers);
+
   // Whether the current big-round has a populated CSR inbox arena; false for
   // rounds with no consumable messages, where every event's inbox is empty.
   bool round_has_inbox = false;
@@ -371,6 +389,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       // Crash-stop: the node executes nothing from its crash round on. Its
       // progress freezes, so it is never marked completed.
       ++ws.skipped;
+      if (recorder != nullptr) {
+        recorder->record(static_cast<std::uint32_t>(&ws - workers.data()),
+                         FlightRecorder::Kind::kCrashSkip, t,
+                         (std::uint64_t{ev.alg} << 32) | ev.vround, ev.node);
+      }
       return;
     }
     auto& prog_progress = progress[ev.alg][ev.node];
@@ -389,6 +412,18 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
             scratch.inbox_offset[li + 1] - scratch.inbox_offset[li]};
     }
     ws.delivered += in.size();
+    if (profiler != nullptr) {
+      // Shard-local bumps (no sharing, no atomics): this worker owns its
+      // shard; end_round() folds the shards in shard order at the barrier.
+      auto& shard = profiler->shards()[&ws - workers.data()];
+      ++shard.events;
+      shard.inbox += in.size();
+    }
+    if (recorder != nullptr) {
+      recorder->record(static_cast<std::uint32_t>(&ws - workers.data()),
+                       FlightRecorder::Kind::kEvent, t,
+                       (std::uint64_t{ev.alg} << 32) | ev.vround, ev.node);
+    }
 
     const auto nbrs = graph_.neighbors(ev.node);
     const auto directed = graph_.directed_ids(ev.node);
@@ -538,20 +573,39 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       ++fs.attempts;
       account_edge(sm.directed_edge);
       ++result.total_messages;
+      // Flight-recorder fate entries go to the barrier ring (index
+      // num_workers): fates are decided here, serially, in shard-merged order.
+      const std::uint64_t fr_key = (std::uint64_t{sm.alg} << 32) | sm.tag;
       bool dropped = false;
       if (faults->link_down(sm.directed_edge / 2, t)) {
         ++fs.dropped_outage;
+        if (recorder != nullptr) {
+          recorder->record(num_workers, FlightRecorder::Kind::kDropOutage, t,
+                           fr_key, sm.directed_edge);
+        }
         dropped = true;
       } else if (faults->node_crashed(sm.to, t)) {
         // A crashed receiver neither stores nor acks the message.
         ++fs.dropped_crash;
+        if (recorder != nullptr) {
+          recorder->record(num_workers, FlightRecorder::Kind::kDropCrash, t,
+                           fr_key, sm.directed_edge);
+        }
         dropped = true;
       } else if (faults->drop(sm.alg, sm.directed_edge, sm.tag, attempt)) {
         ++fs.dropped_random;
+        if (recorder != nullptr) {
+          recorder->record(num_workers, FlightRecorder::Kind::kDropRandom, t,
+                           fr_key, sm.directed_edge);
+        }
         dropped = true;
       }
       if (!dropped) {
         ++fs.delivered;
+        if (recorder != nullptr) {
+          recorder->record(num_workers, FlightRecorder::Kind::kDeliver, t,
+                           fr_key, sm.directed_edge);
+        }
         if (faults->duplicate(sm.alg, sm.directed_edge, sm.tag, attempt)) {
           if (max_retries > 0) {
             // The reliable layer's per-edge bookkeeping recognizes the copy.
@@ -559,6 +613,10 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
           } else {
             ++fs.duplicated;
             ++fs.delivered;
+            if (recorder != nullptr) {
+              recorder->record(num_workers, FlightRecorder::Kind::kDuplicate, t,
+                               fr_key, sm.directed_edge);
+            }
             deliver(sm.alg, sm.tag, sm.to, sm.msg);
           }
         }
@@ -571,6 +629,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         const std::uint32_t retry_round = t + (1u << attempt);
         if (!faults->node_crashed(sm.msg.from, retry_round)) {
           ++fs.retransmissions;
+          if (recorder != nullptr) {
+            recorder->record(num_workers, FlightRecorder::Kind::kRetry, t,
+                             (std::uint64_t{attempt + 1} << 32) | sm.tag,
+                             sm.directed_edge);
+          }
           if (retry_round >= horizon) {
             horizon = retry_round + 1;
             result.max_load_per_big_round.resize(horizon, 0);
@@ -580,15 +643,21 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         }
       }
       ++fs.lost;
+      if (recorder != nullptr) {
+        recorder->record(num_workers, FlightRecorder::Kind::kLost, t, fr_key,
+                         sm.directed_edge);
+      }
     };
 
     std::uint64_t messages_this_round = 0;
+    std::uint64_t retries_this_round = 0;
     // Retransmissions due this round go first: they are older than this
     // round's fresh sends, and their queue order is deterministic (scheduled
     // at earlier barriers in shard-merged order).
     if (max_retries > 0) {
       retry_queue.drain_into(t, scratch.retry_due);
-      messages_this_round += scratch.retry_due.size();
+      retries_this_round = scratch.retry_due.size();
+      messages_this_round += retries_this_round;
       for (const auto& entry : scratch.retry_due) {
         transmit_faulty(entry.msg, entry.attempt);
       }
@@ -605,6 +674,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         if (faults == nullptr) {
           account_edge(sm.directed_edge);
           ++result.total_messages;
+          if (recorder != nullptr) {
+            recorder->record(num_workers, FlightRecorder::Kind::kDeliver, t,
+                             (std::uint64_t{sm.alg} << 32) | sm.tag,
+                             sm.directed_edge);
+          }
           deliver(sm.alg, sm.tag, sm.to, sm.msg);
         } else {
           transmit_faulty(sm, 0);
@@ -616,9 +690,18 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     std::uint32_t max_load = 0;
     for (const auto d : touched_edges) {
       max_load = std::max(max_load, edge_count[d]);
-      if (cfg_.enforce_unit_capacity) {
+      if (cfg_.enforce_unit_capacity && edge_count[d] > 1) {
+        // Post-mortem before the hard failure: the rings hold the deliveries
+        // leading up to the overflow.
+        if (recorder != nullptr) recorder->dump_on("unit_capacity_overflow");
         DASCHED_CHECK_LE(edge_count[d], 1u,
                          "CONGEST bandwidth violated: >1 message per edge per round");
+      }
+      if (profiler != nullptr) {
+        // Touched cells are visited in first-touch order, which is the
+        // shard-merged (== serial) staging order: deterministic across
+        // thread counts.
+        profiler->record_cell(t, d, edge_count[d]);
       }
       if (telemetry != nullptr) {
         telemetry->record_value("executor.edge_load", edge_count[d]);
@@ -628,6 +711,13 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     touched_edges.clear();
     result.max_load_per_big_round[t] = max_load;
     result.max_edge_load = std::max(result.max_edge_load, max_load);
+
+    if (profiler != nullptr) {
+      profiler->end_round(t, messages_this_round, max_load, retries_this_round);
+    }
+    if (recorder != nullptr) {
+      recorder->record_barrier(t, messages_this_round, max_load);
+    }
 
     if (telemetry != nullptr) {
       std::uint64_t delivered_now = 0;
@@ -651,6 +741,12 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   // Retransmissions may have extended the run past the scheduled horizon.
   result.num_big_rounds = horizon;
   for (const auto& ws : workers) result.faults.skipped_events += ws.skipped;
+
+  if (profiler != nullptr) profiler->end_run();
+  if (recorder != nullptr && faults != nullptr && faults->num_crashes() > 0) {
+    // Crash-stop faults fired: leave a post-mortem of the run's last events.
+    recorder->dump_on("crash_stop_faults");
+  }
 
   // --- Finish and collect outputs. The tag == T messages accumulated in
   // finish_pending are counting-sorted (stably: delivery order is preserved

@@ -72,6 +72,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/reliable.hpp"
 #include "graph/graph.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
@@ -127,6 +129,23 @@ struct ExecConfig {
   /// prove the paper's schedule invariants at admission time
   /// (docs/VERIFICATION.md).
   const ScheduleAdmission* admission = nullptr;
+  /// Optional congestion profiler (borrowed; must outlive the run). Null --
+  /// the default -- leaves the engine byte-for-byte unprofiled. When set, the
+  /// executor sizes the profiler once per run (begin_run, with retry
+  /// headroom), bumps per-worker shard counters during event execution, and
+  /// records every touched (directed edge, big-round) load cell at the serial
+  /// delivery barrier -- so profiled runs stay bit-identical across thread
+  /// counts and allocation-free in steady state. The profiler only observes;
+  /// ExecutionResults are unchanged (tests/test_profiler.cpp pins both).
+  ExecProfiler* profiler = nullptr;
+  /// Optional flight recorder (borrowed; must outlive the run). Null -- the
+  /// default -- records nothing. When set, each worker logs its executions
+  /// and crash skips to its own bounded ring and the delivery barrier logs
+  /// per-message fates and per-round summaries; the executor dumps a
+  /// post-mortem JSON document (FlightRecorderConfig::dump_path) when the
+  /// admission gate rejects a schedule, a unit-capacity round overflows, or
+  /// crash-stop faults fired during the run. See docs/OBSERVABILITY.md.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct ExecutionResult {

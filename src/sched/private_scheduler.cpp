@@ -188,6 +188,7 @@ PrivateScheduleOutcome PrivateRandomnessScheduler::run(ScheduleProblem& problem)
 
   ExecConfig ecfg;
   ecfg.telemetry = telemetry;
+  ecfg.profiler = cfg_.profiler;
   ecfg.num_threads = cfg_.num_threads;
   Executor executor(g, ecfg);
   out.schedule = std::move(exec_time);

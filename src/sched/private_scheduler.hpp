@@ -69,6 +69,9 @@ struct PrivateSchedulerConfig {
   /// schedule, execute) in sched.private/* spans and emits coverage/dedup
   /// metrics (see docs/OBSERVABILITY.md).
   TelemetrySink* telemetry = nullptr;
+  /// Optional congestion profiler (borrowed), handed through to
+  /// ExecConfig::profiler for the scheduled execution. Null = unprofiled.
+  ExecProfiler* profiler = nullptr;
 };
 
 struct PrivateScheduleOutcome {

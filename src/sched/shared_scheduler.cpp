@@ -60,6 +60,7 @@ SharedScheduleOutcome SharedRandomnessScheduler::run(ScheduleProblem& problem) c
 
   ExecConfig ecfg;
   ecfg.telemetry = cfg_.telemetry;
+  ecfg.profiler = cfg_.profiler;
   ecfg.num_threads = cfg_.num_threads;
   Executor executor(problem.graph(), ecfg);
   const auto algos = problem.algorithm_ptrs();

@@ -41,6 +41,9 @@ struct SharedSchedulerConfig {
   /// sched.shared/execute spans, phase/delay gauges, a sched.shared.delay
   /// histogram, the fixed-phase overflow counter, and the executor's metrics.
   TelemetrySink* telemetry = nullptr;
+  /// Optional congestion profiler (borrowed), handed through to
+  /// ExecConfig::profiler for the scheduled execution. Null = unprofiled.
+  ExecProfiler* profiler = nullptr;
 };
 
 struct SharedScheduleOutcome {

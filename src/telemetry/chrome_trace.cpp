@@ -37,8 +37,17 @@ void ChromeTraceSink::set_gauge(std::string_view name, double value) {
   events_.push_back(std::move(ev));
 }
 
-void ChromeTraceSink::record_value(std::string_view /*name*/, double /*value*/) {
-  // Distributions are MetricsRegistry's job (see header comment).
+void ChromeTraceSink::record_value(std::string_view name, double value) {
+  // Each sample is a counter-track point at its emission time: the trace
+  // shows the quantity over time (e.g. max load per big-round), while the
+  // full distribution stays MetricsRegistry's job.
+  Event ev;
+  ev.phase = 'C';
+  ev.name = std::string(name);
+  ev.ts_us = now_us();
+  ev.dur_us = 0;
+  ev.args.emplace_back("value", value);
+  events_.push_back(std::move(ev));
 }
 
 void ChromeTraceSink::record_span(std::string_view category, std::string_view name,

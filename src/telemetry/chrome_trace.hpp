@@ -1,11 +1,12 @@
 // TelemetrySink emitting Chrome trace_event JSON ("JSON Array Format" wrapped
 // in a {"traceEvents": [...]} object), loadable in chrome://tracing and
 // https://ui.perfetto.dev. Spans become complete ("X") duration events;
-// counters and gauges become counter ("C") tracks sampled at emission time.
-// Histogram samples (record_value) are intentionally dropped here -- full
-// distributions belong in MetricsRegistry; a trace of one event per edge-load
-// sample would dwarf the spans it annotates. Pair both sinks with TeeSink to
-// get spans + distributions from one run.
+// counters, gauges, and histogram samples (record_value) become counter ("C")
+// tracks sampled at emission time -- counters plot their running total,
+// gauges and samples plot the emitted value. Per-big-round samples like
+// executor.max_load_per_big_round therefore render as a congestion-over-time
+// track alongside the big-round spans they annotate (full distributions
+// still belong in MetricsRegistry; pair both sinks with TeeSink).
 #pragma once
 
 #include <cstdint>

@@ -118,6 +118,11 @@ void Writer::null() {
   os_ << "null";
 }
 
+void Writer::raw(std::string_view text) {
+  separator();
+  os_ << text;
+}
+
 // ---------------------------------------------------------------------------
 // Parser.
 // ---------------------------------------------------------------------------

@@ -43,6 +43,11 @@ class Writer {
   void value(bool b);
   void null();
 
+  /// Splices pre-rendered JSON verbatim in value position (after a key or as
+  /// an array element), with normal comma/pending-key handling. The caller
+  /// guarantees `text` is one complete JSON value.
+  void raw(std::string_view text);
+
   // Convenience: key + scalar value.
   template <typename T>
   void kv(std::string_view k, T v) {

@@ -31,7 +31,7 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
 }
 
 void MetricsRegistry::record_value(std::string_view name, double value) {
-  slot(histograms_, name, [] { return SampleSet{}; }).add(value);
+  slot(histograms_, name, [this] { return Histogram{sample_cap_}; }).add(value);
 }
 
 void MetricsRegistry::record_span(std::string_view category, std::string_view name,
@@ -56,7 +56,7 @@ double MetricsRegistry::gauge(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
-const SampleSet* MetricsRegistry::histogram(std::string_view name) const {
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -105,6 +105,10 @@ void MetricsRegistry::write_json(std::ostream& os, bool include_samples) const {
         w.begin_array();
         for (const double x : h.sorted()) w.value(x);
         w.end_array();
+        if (!h.complete()) {
+          w.kv("samples_dropped",
+               static_cast<std::uint64_t>(h.count() - h.retained()));
+        }
       }
     }
     w.end_object();

@@ -1,7 +1,17 @@
 // In-memory aggregating TelemetrySink: counters sum, gauges overwrite,
-// histograms accumulate into SampleSets, spans accumulate duration stats.
-// Queryable by name and snapshottable to JSON, so tests and run reports can
-// assert on exactly what the instrumented code emitted.
+// histograms accumulate into capped log-bucketed Histograms (util/stats.hpp),
+// spans accumulate duration stats. Queryable by name and snapshottable to
+// JSON, so tests and run reports can assert on exactly what the instrumented
+// code emitted.
+//
+// Memory discipline: a histogram retains at most `sample_cap` verbatim
+// samples (default Histogram::kDefaultSampleCap = 4096) next to its exact
+// streaming moments and fixed 64-bucket log histogram, so profiled
+// million-message runs cost O(cap) per metric instead of O(messages).
+// Quantiles are exact while the retained list is complete and log-bucket
+// approximations (within 2x) past the cap. Call keep_all_samples() before
+// recording to opt into unbounded retention -- the explicit flag for runs
+// where the full distribution is the artifact.
 //
 // JSON snapshot schema (docs/OBSERVABILITY.md):
 //   {
@@ -9,12 +19,14 @@
 //     "gauges":     { "<name>": <double>, ... },
 //     "histograms": { "<name>": { "count": n, "min": ..., "max": ...,
 //                                 "mean": ..., "p50": ..., "p90": ...,
-//                                 "p99": ..., "samples": [...]? }, ... },
+//                                 "p99": ..., "samples": [...]?,
+//                                 "samples_dropped": n? }, ... },
 //     "spans":      { "<category>/<name>": { "count": n, "total_us": ...,
 //                                            "mean_us": ..., "max_us": ... } }
 //   }
-// `samples` (the full ascending sample list) is included only when the
-// snapshot is taken with include_samples = true.
+// `samples` (the retained ascending sample list) is included only when the
+// snapshot is taken with include_samples = true; `samples_dropped` appears
+// only when the cap truncated the list.
 #pragma once
 
 #include <cstdint>
@@ -44,10 +56,17 @@ class MetricsRegistry final : public TelemetrySink {
                    std::uint64_t start_us, std::uint64_t dur_us,
                    std::span<const SpanArg> args) override;
 
+  /// Retention cap for *future* histogram names (existing histograms keep
+  /// their cap). Histogram::kUnlimited disables the cap.
+  void set_sample_cap(std::size_t cap) { sample_cap_ = cap; }
+  /// The explicit opt-in to unbounded sample retention (old behavior).
+  void keep_all_samples() { sample_cap_ = Histogram::kUnlimited; }
+  std::size_t sample_cap() const { return sample_cap_; }
+
   // --- Queries (absent names return zero / nullptr). ---
   std::uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
-  const SampleSet* histogram(std::string_view name) const;
+  const Histogram* histogram(std::string_view name) const;
   /// Key is "<category>/<name>".
   const SpanStats* span(std::string_view key) const;
 
@@ -55,7 +74,7 @@ class MetricsRegistry final : public TelemetrySink {
     return counters_;
   }
   const std::map<std::string, double, std::less<>>& gauges() const { return gauges_; }
-  const std::map<std::string, SampleSet, std::less<>>& histograms() const {
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
     return histograms_;
   }
   const std::map<std::string, SpanStats, std::less<>>& spans() const { return spans_; }
@@ -70,9 +89,10 @@ class MetricsRegistry final : public TelemetrySink {
   std::string to_json(bool include_samples = false) const;
 
  private:
+  std::size_t sample_cap_ = Histogram::kDefaultSampleCap;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, SampleSet, std::less<>> histograms_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
   std::map<std::string, SpanStats, std::less<>> spans_;
 };
 

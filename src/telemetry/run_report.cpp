@@ -149,11 +149,17 @@ void RunReport::write(std::ostream& os) const {
     w.end_object();
   }
 
+  if (!profile_json_.empty()) {
+    w.key("profile");
+    // Spliced verbatim: a complete JSON object from ExecProfiler::to_json().
+    w.raw(profile_json_);
+  }
+
   if (!telemetry_json_.empty()) {
     w.key("telemetry");
     // Splice the pre-rendered registry snapshot verbatim: it is itself a
     // complete JSON object produced by MetricsRegistry::write_json.
-    os << telemetry_json_;
+    w.raw(telemetry_json_);
   }
 
   w.end_object();

@@ -18,6 +18,7 @@
 //     "findings": { "errors": N, "warnings": N, "infos": N,  // if any
 //                   "items": [ { "severity": ..., "code": ..., "location": ...,
 //                                "message": ..., "metrics": {...} } ] },
+//     "profile":   { ...ExecProfiler snapshot... }?,        // if attached
 //     "telemetry": { ...MetricsRegistry snapshot... }?      // if attached
 //   }
 // This is what `--report out.json` produces from every bench binary and from
@@ -86,9 +87,15 @@ class RunReport {
   /// whether full histogram sample lists are written).
   void attach_metrics(const MetricsRegistry& metrics, bool include_samples = true);
 
+  /// Embeds a pre-rendered `profile` section (a complete JSON object --
+  /// ExecProfiler::to_json()). Spliced verbatim, same contract as the
+  /// telemetry section.
+  void set_profile_json(std::string json) { profile_json_ = std::move(json); }
+
   bool empty() const {
     return meta_.empty() && tables_.empty() && series_.empty() &&
-           findings_.empty() && !have_finding_totals_ && telemetry_json_.empty();
+           findings_.empty() && !have_finding_totals_ && telemetry_json_.empty() &&
+           profile_json_.empty();
   }
   std::size_t num_tables() const { return tables_.size(); }
   std::size_t num_series() const { return series_.size(); }
@@ -113,6 +120,7 @@ class RunReport {
   std::uint64_t finding_warnings_ = 0;
   std::uint64_t finding_infos_ = 0;
   std::string telemetry_json_;  // pre-rendered snapshot, "" if none
+  std::string profile_json_;    // pre-rendered ExecProfiler snapshot, "" if none
 };
 
 }  // namespace dasched

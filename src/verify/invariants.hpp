@@ -46,6 +46,21 @@
 //   measured-constants   Thm 1.1                        (info) the measured
 //                                                       constants of the bound
 //
+// The divergence.* family below is emitted by the *divergence monitor*
+// (verify/divergence.hpp), which joins the loads the verifier predicted
+// statically against the loads an ExecProfiler measured at runtime -- the
+// closed-loop counterpart of the static checks above:
+//
+//   divergence.load        measured load != predicted load on a cell
+//   divergence.unpredicted a (big-round, edge) cell carried messages the
+//                          static model did not predict (e.g. retransmissions)
+//   divergence.unrealized  a predicted cell carried no messages (e.g. a
+//                          crash-stopped sender never transmitted)
+//   divergence.rounds      the run used a different number of big-rounds than
+//                          the static model (retry horizon extension)
+//   divergence.summary     (info) totals: cells compared / diverged, messages
+//                          predicted / measured
+//
 // docs/VERIFICATION.md is the narrative version of this table.
 #pragma once
 
@@ -71,6 +86,13 @@ inline constexpr const char* kCodeBlockMonotonic = "block-monotonic";
 inline constexpr const char* kCodeLengthBudget = "length-budget";
 inline constexpr const char* kCodeTruncation = "truncation";
 inline constexpr const char* kCodeMeasured = "measured-constants";
+
+// Divergence-monitor codes (verify/divergence.hpp).
+inline constexpr const char* kCodeDivergenceLoad = "divergence.load";
+inline constexpr const char* kCodeDivergenceUnpredicted = "divergence.unpredicted";
+inline constexpr const char* kCodeDivergenceUnrealized = "divergence.unrealized";
+inline constexpr const char* kCodeDivergenceRounds = "divergence.rounds";
+inline constexpr const char* kCodeDivergenceSummary = "divergence.summary";
 
 struct VerifyOptions {
   /// Per-directed-edge per-big-round load budget (the phase budget: a

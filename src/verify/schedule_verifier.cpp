@@ -29,7 +29,9 @@ struct LoadKey {
 }  // namespace
 
 Report check_schedule(const ScheduleProblem& problem, const ScheduleTable& schedule,
-                      const VerifyOptions& opts) {
+                      const VerifyOptions& opts,
+                      std::vector<LoadCell>* static_loads) {
+  if (static_loads != nullptr) static_loads->clear();
   DASCHED_CHECK_MSG(problem.solo_done(),
                     "check_schedule needs solo patterns: call problem.run_solo() first");
   TimedSpan span(opts.telemetry, "verify", "check_schedule");
@@ -226,6 +228,12 @@ Report check_schedule(const ScheduleProblem& problem, const ScheduleTable& sched
     while (j < loads.size() && loads[j] == loads[i]) ++j;
     const auto load = static_cast<std::uint32_t>(j - i);
     report.measured.max_edge_load = std::max(report.measured.max_edge_load, load);
+    if (static_loads != nullptr) {
+      // The run-length groups come out sorted by (big_round, edge) -- the
+      // exact order ExecProfiler::sorted_cells() uses, so the surfaces join
+      // with one linear merge.
+      static_loads->push_back({loads[i].big_round, loads[i].edge, load});
+    }
     if (opts.congestion_budget > 0 && load > opts.congestion_budget) {
       Location loc;
       loc.big_round = loads[i].big_round;

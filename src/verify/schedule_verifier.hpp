@@ -23,9 +23,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "congest/admission.hpp"
 #include "sched/problem.hpp"
+#include "telemetry/profiler.hpp"
 #include "verify/findings.hpp"
 #include "verify/invariants.hpp"
 
@@ -34,8 +36,15 @@ namespace dasched::verify {
 /// Statically checks `schedule` against `problem`'s solo patterns and the
 /// invariants selected by `opts`. Requires problem.run_solo() to have been
 /// performed (congestion and patterns come from it). Never executes anything.
+///
+/// When `static_loads` is non-null it receives the full predicted load
+/// surface -- one LoadCell per (big-round, directed edge) pair that carries
+/// at least one message, sorted by (big_round, edge). On a reliable network
+/// this equals the surface an ExecProfiler measures cell for cell; the
+/// divergence monitor (verify/divergence.hpp) performs exactly that join.
 Report check_schedule(const ScheduleProblem& problem, const ScheduleTable& schedule,
-                      const VerifyOptions& opts = {});
+                      const VerifyOptions& opts = {},
+                      std::vector<LoadCell>* static_loads = nullptr);
 
 /// ExecConfig::admission adapter: verifies every schedule handed to the
 /// executor and rejects on any error-severity finding. The report of the most

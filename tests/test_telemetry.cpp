@@ -48,7 +48,7 @@ TEST(MetricsRegistry, GaugesOverwrite) {
 TEST(MetricsRegistry, HistogramsAggregate) {
   MetricsRegistry m;
   for (const double x : {3.0, 1.0, 2.0, 2.0}) m.record_value("h", x);
-  const SampleSet* h = m.histogram("h");
+  const Histogram* h = m.histogram("h");
   ASSERT_NE(h, nullptr);
   EXPECT_EQ(h->count(), 4u);
   EXPECT_DOUBLE_EQ(h->min(), 1.0);
@@ -56,6 +56,37 @@ TEST(MetricsRegistry, HistogramsAggregate) {
   EXPECT_DOUBLE_EQ(h->mean(), 2.0);
   EXPECT_DOUBLE_EQ(h->quantile(0.5), 2.0);
   EXPECT_EQ(m.histogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, SampleRetentionIsCapped) {
+  MetricsRegistry m;
+  m.set_sample_cap(8);
+  for (int i = 0; i < 100; ++i) m.record_value("h", i);
+  const Histogram* h = m.histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_EQ(h->retained(), 8u);
+  EXPECT_FALSE(h->complete());
+  // Exact moments survive the cap; quantiles fall back to the log buckets
+  // but stay clamped to the observed range.
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 99.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 49.5);
+  EXPECT_GE(h->quantile(0.5), 0.0);
+  EXPECT_LE(h->quantile(0.5), 99.0);
+
+  // The JSON snapshot reports how many samples the cap dropped.
+  const auto doc = json::parse(m.to_json(true));
+  ASSERT_NE(doc, nullptr);
+  EXPECT_DOUBLE_EQ(
+      doc->get("histograms")->get("h")->get("samples_dropped")->number, 92.0);
+
+  // Opting back into full retention is explicit.
+  MetricsRegistry full;
+  full.keep_all_samples();
+  for (int i = 0; i < 100; ++i) full.record_value("h", i);
+  EXPECT_TRUE(full.histogram("h")->complete());
+  EXPECT_DOUBLE_EQ(full.histogram("h")->quantile(0.5), 50.0);
 }
 
 TEST(MetricsRegistry, SpansKeyedByCategorySlashName) {
@@ -214,7 +245,7 @@ TEST(ChromeTrace, EmitsParsableTraceEventsDocument) {
   trace.record_span("executor", "big_round", 1000, 50, args);
   trace.add_counter("messages", 2);
   trace.add_counter("messages", 3);
-  trace.record_value("ignored", 1.0);  // histograms are not trace events
+  trace.record_value("max_load", 7.0);  // samples are counter-track points too
 
   std::ostringstream oss;
   trace.write(oss);
@@ -222,8 +253,8 @@ TEST(ChromeTrace, EmitsParsableTraceEventsDocument) {
   ASSERT_NE(doc, nullptr) << oss.str();
   const auto* events = doc->get("traceEvents");
   ASSERT_NE(events, nullptr);
-  // metadata + 1 span + 2 counter samples.
-  ASSERT_EQ(events->array.size(), 4u);
+  // metadata + 1 span + 2 counter samples + 1 histogram sample.
+  ASSERT_EQ(events->array.size(), 5u);
 
   const auto& span = *events->array[1];
   EXPECT_EQ(span.get("ph")->string, "X");
@@ -235,6 +266,11 @@ TEST(ChromeTrace, EmitsParsableTraceEventsDocument) {
   // Counter samples carry the cumulative value.
   EXPECT_DOUBLE_EQ(events->array[2]->get("args")->get("value")->number, 2.0);
   EXPECT_DOUBLE_EQ(events->array[3]->get("args")->get("value")->number, 5.0);
+
+  // record_value samples carry the emitted value, not a running total.
+  EXPECT_EQ(events->array[4]->get("ph")->string, "C");
+  EXPECT_EQ(events->array[4]->get("name")->string, "max_load");
+  EXPECT_DOUBLE_EQ(events->array[4]->get("args")->get("value")->number, 7.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -340,7 +376,7 @@ TEST(InstrumentedExecution, SharedSchedulerMetricsMatchExecutionResult) {
                    static_cast<double>(out.schedule_rounds));
 
   // The per-big-round max-load histogram is the ExecutionResult vector.
-  const SampleSet* loads = metrics.histogram("executor.max_load_per_big_round");
+  const Histogram* loads = metrics.histogram("executor.max_load_per_big_round");
   ASSERT_NE(loads, nullptr);
   ASSERT_EQ(loads->count(), out.exec.max_load_per_big_round.size());
   auto expected = out.exec.max_load_per_big_round;

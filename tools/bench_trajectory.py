@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Track executor throughput across commits: the bench trajectory.
+
+BENCH_TRAJECTORY.json (committed at the repo root) is an append-only series
+of throughput measurements extracted from the E14 bench report
+(bench_e14_profiler_overhead --report BENCH_e14.json). Each entry records the
+unprofiled and profiled messages/s of the E14.b workload plus a machine key
+(platform + cpu count + build type), so entries are only ever compared
+against entries from a comparable machine and build configuration.
+
+Subcommands:
+  record  --bench BENCH_e14.json [--trajectory BENCH_TRAJECTORY.json]
+          [--label LABEL]
+      Append one entry to the trajectory file (creates it if missing).
+  check   --bench BENCH_e14.json [--trajectory BENCH_TRAJECTORY.json]
+          [--tolerance 0.10]
+      Compare the report against the committed trajectory. Fails (exit 1)
+      when unprofiled throughput regressed more than --tolerance against the
+      best prior entry with a matching machine key, or when the report's own
+      verdict columns (identity, <= 10% overhead, zero-alloc) say NO. With no
+      matching machine key the throughput comparison is skipped (CI runners
+      and dev boxes do not share baselines) but the verdicts still gate.
+  self-test
+      Run the built-in unit checks on synthetic data.
+
+The CI perf-smoke job runs `check` on every push; `record` is run manually
+when a perf-relevant change lands, and the updated trajectory is committed
+with it (docs/PERFORMANCE.md, "Tracking the trajectory").
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+
+SCHEMA = "dasched.bench_trajectory.v1"
+
+
+def machine_key(report):
+    # The build type comes from the report (stamped by the bench binary at
+    # compile time), not from this process: Release and RelWithDebInfo hot
+    # paths differ by ~20%, so they must never share a throughput baseline.
+    return {
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "cpu_count": os.cpu_count() or 0,
+        "build": report.get("meta", {}).get("build_type", "unknown"),
+    }
+
+
+def same_machine(a, b):
+    return (
+        a.get("platform") == b.get("platform")
+        and a.get("cpu_count") == b.get("cpu_count")
+        and a.get("build") == b.get("build")
+    )
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def find_table(report, prefix):
+    for t in report.get("tables", []):
+        if t["title"].startswith(prefix):
+            return t
+    raise SystemExit(f"report has no table starting with {prefix!r}")
+
+
+def cell(table, row_key, column):
+    cols = table["columns"]
+    key_idx = cols.index("engine") if "engine" in cols else 0
+    for row in table["rows"]:
+        if row[key_idx] == row_key:
+            return row[cols.index(column)]
+    raise SystemExit(f"table {table['title']!r} has no row {row_key!r}")
+
+
+def extract_entry(report, label):
+    """One trajectory entry from a BENCH_e14.json report."""
+    thr = find_table(report, "E14.b")
+    entry = {
+        "label": label,
+        "date": datetime.date.today().isoformat(),
+        "machine": machine_key(report),
+        "bench": "e14",
+        "messages_per_sec_off": float(cell(thr, "profiler off", "messages/s")),
+        "messages_per_sec_on": float(cell(thr, "profiler on", "messages/s")),
+        "overhead_pct": float(cell(thr, "profiler on", "overhead %")),
+    }
+    return entry
+
+
+def check_verdicts(report):
+    """The report's own hard columns; independent of any baseline."""
+    failures = []
+    identity = find_table(report, "E14.a")
+    for column in ("identical", "profiler agrees"):
+        if cell(identity, "profiler on", column) != "yes":
+            failures.append(f"E14.a: profiled run not {column!r}")
+    thr = find_table(report, "E14.b")
+    if cell(thr, "profiler on", "within 10%") != "yes":
+        failures.append(
+            f"E14.b: profiler overhead {cell(thr, 'profiler on', 'overhead %')}% "
+            "exceeds 10%"
+        )
+    audit = find_table(report, "E14.c")
+    cols = audit["columns"]
+    for row in audit["rows"]:
+        if int(row[cols.index("run")]) >= 2 and row[cols.index("zero-alloc")] != "yes":
+            failures.append(f"E14.c: steady-state run allocated: {row}")
+    return failures
+
+
+def load_trajectory(path):
+    if not os.path.exists(path):
+        return {"schema": SCHEMA, "entries": []}
+    doc = load_json(path)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def cmd_record(args):
+    report = load_json(args.bench)
+    doc = load_trajectory(args.trajectory)
+    entry = extract_entry(report, args.label)
+    doc["entries"].append(entry)
+    with open(args.trajectory, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"recorded {entry['label']!r}: "
+          f"{entry['messages_per_sec_off']:.0f} msg/s unprofiled, "
+          f"{entry['overhead_pct']:+.1f}% profiled overhead "
+          f"-> {args.trajectory} ({len(doc['entries'])} entries)")
+    return 0
+
+
+def check(report, doc, tolerance):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = check_verdicts(report)
+
+    current = extract_entry(report, "current")
+    here = current["machine"]
+    peers = [e for e in doc.get("entries", []) if same_machine(e["machine"], here)]
+    if not peers:
+        print(f"no prior trajectory entries for machine {here}; "
+              "skipping the throughput comparison")
+        return failures
+
+    best = max(peers, key=lambda e: e["messages_per_sec_off"])
+    floor = best["messages_per_sec_off"] * (1.0 - tolerance)
+    now = current["messages_per_sec_off"]
+    print(f"unprofiled throughput: {now:.0f} msg/s "
+          f"(best prior on this machine: {best['messages_per_sec_off']:.0f} "
+          f"[{best['label']}], floor at -{tolerance:.0%}: {floor:.0f})")
+    if now < floor:
+        failures.append(
+            f"throughput regression: {now:.0f} msg/s is more than "
+            f"{tolerance:.0%} below the best prior entry "
+            f"{best['messages_per_sec_off']:.0f} ({best['label']})"
+        )
+    return failures
+
+
+def cmd_check(args):
+    report = load_json(args.bench)
+    doc = load_trajectory(args.trajectory)
+    failures = check(report, doc, args.tolerance)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("bench trajectory check passed")
+    return 1 if failures else 0
+
+
+# --- Self-test on synthetic data. ---
+
+
+def synthetic_report(off_mps, overhead_pct, zero_alloc="yes", identical="yes"):
+    on_mps = off_mps / (1.0 + overhead_pct / 100.0)
+    return {
+        "schema": "dasched.run_report.v1",
+        "meta": {"build_type": "Release"},
+        "tables": [
+            {
+                "title": "E14.a -- profiled vs unprofiled identity",
+                "columns": ["engine", "messages", "big-rounds", "max load",
+                            "identical", "profiler agrees"],
+                "rows": [
+                    ["profiler off", "100", "10", "5", "baseline", "-"],
+                    ["profiler on", "100", "10", "5", identical, identical],
+                ],
+            },
+            {
+                "title": "E14.b -- profiler overhead",
+                "columns": ["engine", "ms/run", "messages/s", "overhead %",
+                            "within 10%"],
+                "rows": [
+                    ["profiler off", "10.0", f"{off_mps:.0f}", "0.0", "baseline"],
+                    ["profiler on", "11.0", f"{on_mps:.0f}",
+                     f"{overhead_pct:.1f}",
+                     "yes" if overhead_pct <= 10.0 else "NO"],
+                ],
+            },
+            {
+                "title": "E14.c -- steady-state allocation audit",
+                "columns": ["run", "messages", "cells", "allocs/run",
+                            "hot-path allocs", "zero-alloc"],
+                "rows": [
+                    ["1", "100", "50", "999", "72", "warm-up"],
+                    ["2", "100", "50", "0",
+                     "0" if zero_alloc == "yes" else "7", zero_alloc],
+                ],
+            },
+        ],
+    }
+
+
+def self_test():
+    me = machine_key(synthetic_report(1.0, 0.0))
+    elsewhere = {"platform": "Plan9-mips", "cpu_count": 1, "build": "Release"}
+    baseline = {
+        "schema": SCHEMA,
+        "entries": [{
+            "label": "seed", "date": "2026-01-01", "machine": me, "bench": "e14",
+            "messages_per_sec_off": 1_000_000.0,
+            "messages_per_sec_on": 950_000.0, "overhead_pct": 5.0,
+        }],
+    }
+
+    assert check(synthetic_report(990_000, 5.0), baseline, 0.10) == []
+    assert check(synthetic_report(905_000, 5.0), baseline, 0.10) == []  # at floor
+    fails = check(synthetic_report(800_000, 5.0), baseline, 0.10)
+    assert any("regression" in f for f in fails), fails
+    fails = check(synthetic_report(990_000, 14.0), baseline, 0.10)
+    assert any("overhead" in f for f in fails), fails
+    fails = check(synthetic_report(990_000, 5.0, zero_alloc="NO"), baseline, 0.10)
+    assert any("allocated" in f for f in fails), fails
+    fails = check(synthetic_report(990_000, 5.0, identical="NO"), baseline, 0.10)
+    assert any("E14.a" in f for f in fails), fails
+    # A foreign machine key skips the throughput comparison but keeps verdicts.
+    foreign = {"schema": SCHEMA, "entries": [dict(baseline["entries"][0],
+                                                  machine=elsewhere)]}
+    assert check(synthetic_report(1.0, 5.0), foreign, 0.10) == []
+    # Same box, different build configuration: never compared.
+    other_build = {"schema": SCHEMA, "entries": [dict(
+        baseline["entries"][0], machine=dict(me, build="RelWithDebInfo"))]}
+    assert check(synthetic_report(1.0, 5.0), other_build, 0.10) == []
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("record", "check"):
+        p = sub.add_parser(name)
+        p.add_argument("--bench", default="BENCH_e14.json",
+                       help="bench report to read (default: %(default)s)")
+        p.add_argument("--trajectory", default="BENCH_TRAJECTORY.json",
+                       help="trajectory file (default: %(default)s)")
+    sub.choices["record"].add_argument("--label", default="dev",
+                                       help="entry label, e.g. a short commit id")
+    sub.choices["check"].add_argument("--tolerance", type=float, default=0.10,
+                                      help="allowed fractional regression "
+                                           "(default: %(default)s)")
+    sub.add_parser("self-test")
+
+    args = parser.parse_args()
+    if args.command == "record":
+        return cmd_record(args)
+    if args.command == "check":
+        return cmd_check(args)
+    return self_test()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
