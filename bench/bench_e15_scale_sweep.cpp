@@ -1,0 +1,285 @@
+// E15 -- engineering: million-node scale sweep of the tiled delivery engine.
+//
+// Not a paper claim but the capacity statement behind the experiment suite:
+// the executor's tiled parallel delivery barrier (congest/executor.cpp,
+// docs/PERFORMANCE.md) holds its zero-allocation, bit-identical contract as
+// the instance grows from n = 10^3 to n = 10^6 nodes with k = 100 staggered
+// algorithms -- the regime the ROADMAP's scheduling experiments need.
+//
+//   E15.a  the scale ladder: for each rung (n, k, T) report the instance
+//          geometry (directed edges, big-rounds, delivered messages, delivery
+//          tiles at the configured --tile-bytes), serial throughput, threaded
+//          throughput at 2 and 4 workers, the bit-identity verdict across
+//          all of them, and the process peak RSS after the rung. The RSS
+//          column is the "memory budget" record: a process-wide high-water
+//          mark, monotone down the ladder, so the last rung's value bounds
+//          the whole sweep.
+//
+// The identity verdict is load-bearing: main() exits non-zero if any rung's
+// threaded results diverge from serial, and CI runs the reduced ladder
+// (--max-n 100000) as a Release smoke test with exactly that contract.
+//
+// Speedup numbers are recorded honestly for whatever machine runs the bench;
+// on single-core CI runners, threaded rows cost more than serial ones and
+// the column documents that rather than hiding it.
+//
+// Flags (beyond bench_common's --report/--trace/--threads/--profile/
+// --tile-bytes):
+//   --max-n N   drop ladder rungs with more than N nodes (CI's reduced
+//               ladder; the default keeps all rungs up to n = 10^6).
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "congest/executor.hpp"
+#include "graph/generators.hpp"
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
+namespace dasched {
+namespace {
+
+/// Floods (self, vround, running-xor) to every neighbor each round and folds
+/// the inbox into the running xor -- the allocation-free flood of E13, so
+/// every cost in this sweep is the engine's, not the workload's.
+class FloodProgram final : public NodeProgram {
+ public:
+  explicit FloodProgram(NodeId self) : self_(self) {}
+
+  void on_round(VirtualContext& ctx) override {
+    absorb(ctx);
+    const Payload p{std::uint64_t{self_}, std::uint64_t{ctx.vround()}, acc_};
+    for (const auto& h : ctx.neighbors()) ctx.send(h.neighbor, p);
+  }
+
+  void on_finish(VirtualContext& ctx) override { absorb(ctx); }
+
+  std::vector<std::uint64_t> output() const override { return {acc_}; }
+
+ private:
+  void absorb(VirtualContext& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      for (const auto w : m.payload) acc_ ^= w + 0x9e3779b97f4a7c15ull + m.from;
+    }
+  }
+
+  NodeId self_;
+  std::uint64_t acc_ = 0;
+};
+
+class FloodAlgorithm final : public DistributedAlgorithm {
+ public:
+  FloodAlgorithm(std::uint32_t rounds, std::uint64_t base_seed)
+      : DistributedAlgorithm(base_seed), rounds_(rounds) {}
+
+  std::string name() const override { return "flood"; }
+  std::uint32_t rounds() const override { return rounds_; }
+  std::unique_ptr<NodeProgram> make_program(NodeId node) const override {
+    return std::make_unique<FloodProgram>(node);
+  }
+
+ private:
+  std::uint32_t rounds_;
+};
+
+struct Workload {
+  std::unique_ptr<Graph> graph;
+  std::vector<std::unique_ptr<FloodAlgorithm>> owned;
+  std::vector<const DistributedAlgorithm*> algos;
+  ScheduleTable schedule;
+  std::uint64_t messages_per_run = 0;
+};
+
+/// k flood instances staggered one big-round apart (delay a for algorithm a)
+/// on a connected G(n, deg/n): every scheduled event sends deg(v) inline
+/// messages, total message volume k * T * 2|E| per run.
+Workload make_workload(NodeId n, std::size_t k, std::uint32_t rounds,
+                       double deg, std::uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  w.graph = std::make_unique<Graph>(make_gnp_connected(n, deg / n, rng));
+  std::vector<std::uint32_t> delays;
+  for (std::size_t a = 0; a < k; ++a) {
+    w.owned.push_back(std::make_unique<FloodAlgorithm>(rounds, seed + a));
+    w.algos.push_back(w.owned.back().get());
+    delays.push_back(static_cast<std::uint32_t>(a));
+  }
+  w.schedule = ScheduleTable::from_delays(w.algos, n, delays);
+  w.messages_per_run = std::uint64_t{k} * rounds * w.graph->num_directed_edges();
+  return w;
+}
+
+bool identical(const ExecutionResult& a, const ExecutionResult& b) {
+  return a.outputs == b.outputs && a.completed == b.completed &&
+         a.causality_violations == b.causality_violations &&
+         a.total_messages == b.total_messages &&
+         a.num_big_rounds == b.num_big_rounds &&
+         a.max_load_per_big_round == b.max_load_per_big_round &&
+         a.max_edge_load == b.max_edge_load;
+}
+
+/// Process peak RSS in MiB (0 where unsupported). A high-water mark: never
+/// decreases, so per-rung readings bound everything run so far.
+double peak_rss_mib() {
+#if defined(__unix__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#else
+  return 0.0;
+#endif
+}
+
+/// One ladder rung. Rounds shrink as n grows so every rung's total message
+/// volume stays runnable while the top rung still carries k = 100 algorithms
+/// across a million nodes.
+struct Rung {
+  NodeId n;
+  std::size_t k;
+  std::uint32_t rounds;
+  double deg;
+};
+
+constexpr Rung kLadder[] = {
+    {1'000, 100, 8, 6.0},
+    {10'000, 100, 6, 6.0},
+    {100'000, 100, 4, 4.0},
+    {1'000'000, 100, 2, 4.0},
+};
+
+// Largest n the sweep may run (reduced by --max-n for CI's smoke ladder).
+NodeId g_max_n = 1'000'000;
+// Sticky identity verdict consumed by main(): any rung where a threaded run
+// diverges from serial flips this and the process exits non-zero.
+bool g_identity_ok = true;
+
+void run_scale_ladder() {
+  const std::uint32_t tile_events = tile_events_for_bytes(bench::tile_bytes());
+  Table table("E15.a -- scale ladder (tile_events = " +
+              std::to_string(tile_events) + ", staggered flood, k = 100)");
+  table.set_header({"n", "dir edges", "T", "big-rounds", "messages", "tiles",
+                    "serial ms", "messages/s", "x2 speedup", "x4 speedup",
+                    "identical", "peak RSS MiB"});
+
+  for (const auto& rung : kLadder) {
+    if (rung.n > g_max_n) continue;
+    Workload w = make_workload(rung.n, rung.k, rung.rounds, rung.deg,
+                               15000 + rung.n);
+    // With unit-staggered delays, at most min(k, T) algorithms overlap in any
+    // big-round, so the busiest delivery bucket holds min(k, T) * n events.
+    const std::uint64_t max_bucket =
+        std::uint64_t{std::min<std::uint32_t>(
+            static_cast<std::uint32_t>(rung.k), rung.rounds)} *
+        rung.n;
+    const std::uint64_t tiles = (max_bucket + tile_events - 1) / tile_events;
+    // Big rungs are single-pass; small ones take best-of to steady the clock.
+    const int repeats = rung.n >= 100'000 ? 1 : 3;
+
+    double serial_ms = 0.0;
+    double speedup[2] = {0.0, 0.0};
+    ExecutionResult serial_result;
+    bool rung_identical = true;
+    const std::uint32_t thread_counts[] = {0, 2, 4};
+    for (std::size_t ti = 0; ti < 3; ++ti) {
+      ExecConfig cfg;
+      cfg.num_threads = thread_counts[ti];
+      cfg.tile_bytes = bench::tile_bytes();
+      Executor executor(*w.graph, cfg);
+      double best_ms = 0.0;
+      ExecutionResult result;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        result = executor.run(w.algos, w.schedule);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      if (ti == 0) {
+        serial_ms = best_ms;
+        serial_result = std::move(result);
+      } else {
+        speedup[ti - 1] = serial_ms / best_ms;
+        rung_identical = rung_identical && identical(serial_result, result);
+      }
+    }
+    g_identity_ok = g_identity_ok && rung_identical;
+
+    table.add_row({Table::fmt(std::uint64_t{rung.n}),
+                   Table::fmt(std::uint64_t{w.graph->num_directed_edges()}),
+                   Table::fmt(std::uint64_t{rung.rounds}),
+                   Table::fmt(std::uint64_t{serial_result.num_big_rounds}),
+                   Table::fmt(serial_result.total_messages), Table::fmt(tiles),
+                   Table::fmt(serial_ms, 2),
+                   Table::fmt(serial_result.total_messages / (serial_ms / 1000.0), 0),
+                   Table::fmt(speedup[0], 2), Table::fmt(speedup[1], 2),
+                   rung_identical ? "yes" : "NO", Table::fmt(peak_rss_mib(), 1)});
+  }
+  bench::emit(table);
+}
+
+void print_tables() {
+  bench::experiment_banner(
+      "E15 (engineering)",
+      "million-node scale sweep: tiled parallel delivery barrier");
+  std::cout << "ladder cap: n <= " << g_max_n << "\n\n";
+  run_scale_ladder();
+  if (!g_identity_ok) {
+    std::cout << "IDENTITY FAILURE: threaded results diverged from serial\n";
+  }
+}
+
+void bm_scale_mid(benchmark::State& state) {
+  static Workload w = make_workload(10'000, 100, 6, 6.0, 15999);
+  ExecConfig cfg;
+  cfg.num_threads = static_cast<std::uint32_t>(state.range(0));
+  cfg.tile_bytes = bench::tile_bytes();
+  Executor executor(*w.graph, cfg);
+  for (auto _ : state) {
+    const auto result = executor.run(w.algos, w.schedule);
+    benchmark::DoNotOptimize(result.total_messages);
+  }
+  state.counters["messages/s"] = benchmark::Counter(
+      static_cast<double>(w.messages_per_run),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(bm_scale_mid)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dasched
+
+// Hand-rolled DASCHED_BENCH_MAIN so --max-n can trim the ladder for CI, and
+// so the identity verdict gates the exit code.
+int main(int argc, char** argv) {
+  if (!::dasched::bench::consume_report_flags(&argc, argv)) return 2;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-n") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-n requires a node count argument\n");
+        return 2;
+      }
+      std::uint64_t cap = 0;
+      if (!::dasched::parse_flag_u64(argv[++i], &cap) || cap == 0) {
+        std::fprintf(stderr, "--max-n: invalid node count '%s'\n", argv[i]);
+        return 2;
+      }
+      ::dasched::g_max_n = static_cast<::dasched::NodeId>(
+          std::min<std::uint64_t>(cap, 1'000'000));
+    } else {
+      argv[write++] = argv[i];
+    }
+  }
+  argc = write;
+  ::dasched::print_tables();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const int rc = ::dasched::bench::flush_reports(argv[0]);
+  if (rc != 0) return rc;
+  return ::dasched::g_identity_ok ? 0 : 3;
+}

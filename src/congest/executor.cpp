@@ -1,6 +1,7 @@
 #include "congest/executor.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/alloc_counter.hpp"
 #include "util/check.hpp"
@@ -69,6 +70,15 @@ static_assert(std::is_trivially_copyable_v<StagedMessage>);
 static_assert(std::is_trivially_copyable_v<ExecEvent>);
 static_assert(std::is_trivially_copyable_v<PendingMessage>);
 
+/// One owner-worker's parked deliveries bound to a future big-round: the
+/// consumer-slot lane and the message lane kept parallel (SoA), so the gather
+/// histogram at that round streams a dense u32 lane and only the final
+/// scatter moves 56-byte VMessages.
+struct PendingSeg {
+  std::vector<std::uint32_t> slot;  // perf-ok: recycled via the owner's free list
+  std::vector<VMessage> msg;        // perf-ok: recycled via the owner's free list
+};
+
 /// Per-worker staging plus reusable scratch. Within one big-round every event
 /// touches only its own (alg, node) state, so shards race only if they shared
 /// scratch -- they don't; and because each shard appends to its own `staged`
@@ -76,8 +86,27 @@ static_assert(std::is_trivially_copyable_v<PendingMessage>);
 /// in shard order reproduces the serial staging order bit for bit.
 struct WorkerState {
   std::vector<StagedMessage> staged;  // perf-ok: cleared per round, capacity retained
+  // SoA lanes parallel to `staged`, filled at staging time (inside the
+  // parallel execution phase, where routing lookups are free): the directed
+  // edge and the consumer-side coordinates each message binds to at the
+  // barrier. The barrier's histogram and routing passes stream these dense
+  // u32 lanes instead of striding through 72-byte StagedMessage records.
+  std::vector<std::uint32_t> staged_edge;   // perf-ok: lane of `staged`
+  std::vector<std::uint32_t> staged_round;  // perf-ok: consumer big-round, or kFinishDest/kNeverDest
+  std::vector<std::uint32_t> staged_slot;   // perf-ok: consumer's slot in its round's bucket
   std::vector<std::pair<std::uint32_t, Payload>> sends;  // perf-ok: per-event scratch, reserved to max_degree
   std::vector<std::uint8_t> slot_used;  // perf-ok: size max_degree, zeroed once
+  // --- Tile ownership (the tiled delivery barrier, docs/PERFORMANCE.md).
+  // Each worker statically owns a contiguous range of consumer tiles per
+  // round; everything below is written only by its owner during parallel
+  // phases. The serial barrier writes the same structures owner-correctly,
+  // so their contents are bit-identical across thread counts. ---
+  std::vector<std::uint32_t> pend_round;  // perf-ok: big-round -> own seg index or kNoBucket
+  std::vector<PendingSeg> pend_pool;      // perf-ok: recycled via pend_free
+  std::vector<std::uint32_t> pend_free;   // perf-ok: drained-seg free list
+  std::vector<std::uint32_t> touched;     // perf-ok: touched edges of this worker's edge range
+  std::uint32_t max_load_partial = 0;  // max edge load over this worker's edge range
+  std::uint64_t violations = 0;  // causality violations counted at the parallel barrier (worker 0)
   std::uint64_t delivered = 0;  // cumulative messages consumed by this worker
   std::uint64_t skipped = 0;    // events skipped because the node crash-stopped
 };
@@ -120,6 +149,20 @@ constexpr std::size_t kMinEventsPerShard = 16;
 
 constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
 
+/// staged_round sentinels. kFinishDest marks tag == T messages (consumed by
+/// on_finish after the loop); kNeverDest marks messages whose consumer is
+/// never scheduled (counted nowhere, dropped). Real destinations are
+/// big-rounds < num_big_rounds, far below both. `dest >= kNeverDest` tests
+/// for either sentinel in one compare.
+constexpr std::uint32_t kNeverDest = ~std::uint32_t{0} - 1;
+constexpr std::uint32_t kFinishDest = ~std::uint32_t{0};
+
+/// Minimum staged messages in a big-round before the delivery barrier itself
+/// runs tiled-parallel; below this the serial barrier wins (one pool dispatch
+/// costs two condition-variable sweeps). Invisible in results: the parallel
+/// barrier reproduces the serial routing bit for bit.
+constexpr std::uint64_t kMinMessagesParallelBarrier = 256;
+
 }  // namespace
 
 /// Everything the engine reuses across big-rounds and runs. First run of a
@@ -141,23 +184,30 @@ struct ExecScratch {
   std::vector<WorkerState> workers;  // perf-ok: persistent across runs
   std::size_t staged_high_water = 0;  // max staged per worker per big-round
 
-  // --- Pending deliveries, bucketed by the consumer's big-round. Buckets
-  // are drained at the start of their round and their storage recycled via
-  // the free list, so the number of live buckets is the number of rounds
-  // with in-flight messages, not the number of (alg, node, tag) triples. ---
-  std::vector<std::uint32_t> round_bucket;  // perf-ok: big-round -> pool index or kNoBucket
-  std::vector<std::vector<PendingMessage>> bucket_pool;  // perf-ok: recycled via free_buckets
-  std::vector<std::uint32_t> free_buckets;  // perf-ok: drained-bucket free list
+  // --- Tiled delivery barrier (docs/PERFORMANCE.md). Pending deliveries
+  // live in per-worker PendingSegs keyed by the consumer's big-round (see
+  // WorkerState); the lanes below are the shared, statically-partitioned
+  // coordinate system the owners operate in.
+  //
+  // slot_of is the lane parallel to ScheduleTable::flat(): for every
+  // scheduled (alg, node, vround) slot, that event's index within its
+  // big-round bucket, filled during the counting sort. It is never reset:
+  // any entry the barrier reads belongs to a scheduled slot, which was
+  // freshly written this run.
+  //
+  // slot_bound is the static tile-ownership table, num_big_rounds rows of
+  // (num_workers + 1) consumer-slot boundaries: worker w owns slots
+  // [row[w], row[w + 1]) of round t's bucket -- whole tiles, 64-event
+  // aligned so one inbox_present word never spans two owners. ---
+  std::vector<std::uint32_t> slot_of;      // perf-ok: lane of schedule.flat(), rebuilt per run
+  std::vector<std::uint32_t> slot_bound;   // perf-ok: tile ownership, rebuilt per run
+  std::vector<std::uint64_t> inbox_present;  // perf-ok: 1 bit per event of the bucket
 
   // --- Per-big-round CSR inbox arena: this round's consumable messages,
   // counting-sorted into one contiguous slice per event. ---
   std::vector<VMessage> round_arena;        // perf-ok: reused every big-round
   std::vector<std::uint32_t> inbox_offset;  // perf-ok: per event in bucket, size + 1
   std::vector<std::uint32_t> inbox_cursor;  // perf-ok: counting-sort scratch
-  /// (alg * n + node) -> event index within the current bucket. Never reset:
-  /// every pending message's consumer provably has an event in the round the
-  /// message was bound to, so only freshly-written entries are ever read.
-  std::vector<std::uint32_t> consumer_slot;  // perf-ok: sized k*n once
 
   // --- tag == T messages, consumed by on_finish after the loop. ---
   std::vector<PendingMessage> finish_pending;  // perf-ok: appended across the run
@@ -251,9 +301,14 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
   // --- Bucket events by big-round: one flat array plus the CSR offsets. The
   // counting sort preserves (alg, node, round) order within each bucket,
-  // which is the canonical serial execution order. ---
+  // which is the canonical serial execution order. The same pass fills the
+  // slot_of lane: each scheduled slot's event index within its bucket, i.e.
+  // the consumer-side coordinate every staged message will carry. ---
   auto& events = scratch.events;
   events.resize(total_events);
+  if (scratch.slot_of.size() < schedule.flat_size()) {
+    scratch.slot_of.resize(schedule.flat_size());
+  }
   {
     auto& cursor = scratch.bucket_cursor;
     cursor.assign(bucket_start.begin(), bucket_start.end() - 1);
@@ -263,6 +318,8 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         for (std::uint32_t r = 1; r <= slots.size(); ++r) {
           const std::uint32_t t = slots[r - 1];
           if (t != kNeverScheduled) {
+            scratch.slot_of[schedule.slot_index(a, v, r)] =
+                static_cast<std::uint32_t>(cursor[t] - bucket_start[t]);
             events[cursor[t]++] = {static_cast<std::uint32_t>(a), v, r};
           }
         }
@@ -293,17 +350,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   result.num_big_rounds = num_big_rounds;
   result.max_load_per_big_round.assign(num_big_rounds, 0);
 
-  // --- Size the delivery arenas (no allocation inside the loop: buckets and
+  // --- Size the delivery arenas (no allocation inside the loop: segs and
   // arenas below only grow to warm-up high-water marks). ---
-  scratch.round_bucket.assign(std::size_t{num_big_rounds} + 1, kNoBucket);
-  scratch.free_buckets.clear();
-  for (std::uint32_t b = 0; b < scratch.bucket_pool.size(); ++b) {
-    scratch.bucket_pool[b].clear();
-    scratch.free_buckets.push_back(b);
-  }
   scratch.inbox_offset.reserve(max_bucket_size + 1);
   scratch.inbox_cursor.reserve(max_bucket_size + 1);
-  if (scratch.consumer_slot.size() < k * n) scratch.consumer_slot.resize(k * n);
+  scratch.inbox_present.reserve(max_bucket_size / 64 + 1);
   scratch.finish_pending.clear();
   scratch.edge_count.assign(graph_.num_directed_edges(), 0);
   scratch.touched_edges.clear();
@@ -340,13 +391,71 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   for (auto& ws : workers) {
     ws.delivered = 0;
     ws.skipped = 0;
+    ws.max_load_partial = 0;
+    ws.violations = 0;
     ws.staged.clear();
     ws.staged.reserve(scratch.staged_high_water);
+    ws.staged_edge.clear();
+    ws.staged_edge.reserve(scratch.staged_high_water);
+    ws.staged_round.clear();
+    ws.staged_round.reserve(scratch.staged_high_water);
+    ws.staged_slot.clear();
+    ws.staged_slot.reserve(scratch.staged_high_water);
     ws.sends.clear();
     ws.sends.reserve(graph_.max_degree());  // sends per event <= degree
+    ws.pend_round.assign(std::size_t{num_big_rounds} + 1, kNoBucket);
+    ws.pend_free.clear();
+    for (std::uint32_t b = 0; b < ws.pend_pool.size(); ++b) {
+      ws.pend_pool[b].slot.clear();
+      ws.pend_pool[b].msg.clear();
+      ws.pend_free.push_back(b);
+    }
+    ws.touched.clear();
+    ws.touched.reserve(graph_.num_directed_edges() / num_workers + 1);
   }
   std::uint64_t rounds_parallel = 0;
   std::uint64_t rounds_serial = 0;
+  // The tiled parallel barrier engages only on unobserved clean runs: every
+  // observer (telemetry, profiler, recorder, patterns) and the fault layer
+  // is specified in serial shard-merged delivery order, which the serial
+  // barrier provides directly. Results are bit-identical either way; only
+  // who does the routing differs.
+  const bool barrier_observed = cfg_.faults != nullptr ||
+                                cfg_.telemetry != nullptr ||
+                                cfg_.recorder != nullptr ||
+                                cfg_.profiler != nullptr || cfg_.record_patterns;
+
+  // --- Tile geometry and static ownership (docs/PERFORMANCE.md). Round t's
+  // bucket of B events splits into T = ceil(B / tile_events) tiles of
+  // tile_events consecutive consumer slots; worker w owns the tile range
+  // [ceil(w*T/W), ceil((w+1)*T/W)), recorded as consumer-slot boundaries.
+  // Tile boundaries are multiples of tile_events (itself a multiple of 64),
+  // so owners never share an inbox_present word; the last non-empty range is
+  // clamped to B and absorbs the ragged tail. ---
+  const std::uint32_t tile_events = tile_events_for_bytes(cfg_.tile_bytes);
+  auto& slot_bound = scratch.slot_bound;
+  slot_bound.assign(std::size_t{num_big_rounds} * (num_workers + 1), 0);
+  for (std::uint32_t t = 0; t < num_big_rounds; ++t) {
+    const std::size_t bsize = bucket_start[t + 1] - bucket_start[t];
+    const std::size_t tiles = (bsize + tile_events - 1) / tile_events;
+    auto* row = slot_bound.data() + std::size_t{t} * (num_workers + 1);
+    for (std::uint32_t w = 0; w <= num_workers; ++w) {
+      const std::size_t lo_tile =
+          (std::size_t{w} * tiles + num_workers - 1) / num_workers;
+      row[w] = static_cast<std::uint32_t>(std::min(bsize, lo_tile * tile_events));
+    }
+  }
+  // Owner of a consumer slot: the inverse of the tile ranges above
+  // (w = floor(tile * W / T) is exactly the w with lo_tile(w) <= tile <
+  // lo_tile(w + 1)).
+  auto owner_of = [&](std::uint32_t dest, std::uint32_t slot) -> std::uint32_t {
+    if (num_workers == 1) return 0;
+    const std::size_t bsize = bucket_start[dest + 1] - bucket_start[dest];
+    const std::size_t tiles = (bsize + tile_events - 1) / tile_events;
+    return static_cast<std::uint32_t>(std::size_t{slot / tile_events} *
+                                      num_workers / tiles);
+  };
+  const auto sched_flat = schedule.flat();
 
   TelemetrySink* const telemetry = cfg_.telemetry;
   TimedSpan run_span(telemetry, "executor", "run");
@@ -370,7 +479,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       max_retries > 0 ? (1u << max_retries) - 1 : 0;
   if (profiler != nullptr) {
     profiler->begin_run(graph_.num_directed_edges(), num_big_rounds, num_workers,
-                        round_headroom);
+                        round_headroom, tile_events);
   }
   if (recorder != nullptr) recorder->begin_run(num_workers);
 
@@ -404,12 +513,15 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     // This event's inbox: its contiguous slice of the round arena. Messages
     // bound to this round were counting-sorted into per-event slices at the
     // top of the round; events without messages (vround 1, quiet rounds) get
-    // a zero-length slice.
+    // a zero-length slice -- detected by one presence-bitset bit instead of
+    // two offset loads.
     std::span<const VMessage> in;
     if (round_has_inbox) {
       const std::size_t li = event_index - round_begin;
-      in = {scratch.round_arena.data() + scratch.inbox_offset[li],
-            scratch.inbox_offset[li + 1] - scratch.inbox_offset[li]};
+      if ((scratch.inbox_present[li >> 6] >> (li & 63)) & 1) {
+        in = {scratch.round_arena.data() + scratch.inbox_offset[li],
+              scratch.inbox_offset[li + 1] - scratch.inbox_offset[li]};
+      }
     }
     ws.delivered += in.size();
     if (profiler != nullptr) {
@@ -441,10 +553,27 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
     programs[ev.alg][ev.node]->on_round(ctx);
 
+    const std::uint32_t alg_rounds = schedule.rounds(ev.alg);
     for (const auto& [slot, payload] : ws.sends) {
       ws.slot_used[slot] = 0;
-      ws.staged.push_back({ev.alg, ev.vround, nbrs[slot].neighbor, directed[slot],
-                           VMessage{ev.node, payload}});
+      const NodeId to = nbrs[slot].neighbor;
+      ws.staged.push_back(
+          {ev.alg, ev.vround, to, directed[slot], VMessage{ev.node, payload}});
+      ws.staged_edge.push_back(directed[slot]);
+      // Route at staging time, inside the (possibly parallel) execution
+      // phase: the consumer of a tag-r message is (alg, to, vround r + 1),
+      // whose big-round and bucket slot are two indexed loads off the flat
+      // schedule. The barrier then never touches the schedule at all.
+      if (ev.vround == alg_rounds) {
+        ws.staged_round.push_back(kFinishDest);
+        ws.staged_slot.push_back(0);
+      } else {
+        const std::size_t si = schedule.slot_index(ev.alg, to, ev.vround + 1);
+        const std::uint32_t dest = sched_flat[si];
+        const bool never = dest == kNeverScheduled;
+        ws.staged_round.push_back(never ? kNeverDest : dest);
+        ws.staged_slot.push_back(never ? 0 : scratch.slot_of[si]);
+      }
     }
   };
 
@@ -467,45 +596,110 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     const std::uint64_t violations_before = result.causality_violations;
     TimedSpan round_span(telemetry, "executor", "big_round");
 
-    // --- Gather this round's inboxes: drain the pending bucket bound to t
-    // and counting-sort it (stably, preserving delivery order) into one
-    // contiguous arena slice per event. Each pending message's consumer
-    // executes in this round by construction, so consumer_slot lookups always
-    // hit an event of this bucket and stale entries are never read. ---
+    // --- Gather this round's inboxes from the owners' pending segs:
+    // counting-sort them (stably -- seg order is delivery order) into one
+    // contiguous arena slice per event. Every pending message's consumer
+    // provably executes in this round, and its slot lies in its owner's tile
+    // range, so owners histogram and scatter only slots (and 64-event
+    // presence words) they own: the whole gather runs on the pool with no
+    // atomics, and a serial sweep over the same segs builds the identical
+    // arena. Exact per-slot offsets come from one serial prefix-sum between
+    // the two phases. ---
     round_has_inbox = false;
-    const std::uint32_t pend_idx =
-        t < scratch.round_bucket.size() ? scratch.round_bucket[t] : kNoBucket;
-    if (pend_idx != kNoBucket) {
-      auto& pend = scratch.bucket_pool[pend_idx];
-      if (!pend.empty()) {
-        round_has_inbox = true;
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto& ev = events[i];
-          scratch.consumer_slot[std::size_t{ev.alg} * n + ev.node] =
-              static_cast<std::uint32_t>(i - begin);
-        }
-        scratch.inbox_offset.assign(bucket_size + 1, 0);
-        for (const auto& pm : scratch.bucket_pool[pend_idx]) {
-          ++scratch.inbox_offset[scratch.consumer_slot[std::size_t{pm.alg} * n + pm.to] + 1];
-        }
-        for (std::size_t s = 1; s <= bucket_size; ++s) {
-          scratch.inbox_offset[s] += scratch.inbox_offset[s - 1];
-        }
-        scratch.inbox_cursor.assign(scratch.inbox_offset.begin(),
-                                    scratch.inbox_offset.end() - 1);
-        scratch.round_arena.resize(pend.size());
-        for (const auto& pm : pend) {
-          const std::uint32_t slot =
-              scratch.consumer_slot[std::size_t{pm.alg} * n + pm.to];
-          scratch.round_arena[scratch.inbox_cursor[slot]++] = pm.msg;
-        }
+    std::size_t pend_total = 0;
+    for (auto& ws : workers) {
+      if (t < ws.pend_round.size() && ws.pend_round[t] != kNoBucket) {
+        pend_total += ws.pend_pool[ws.pend_round[t]].slot.size();
       }
-      pend.clear();
-      scratch.free_buckets.push_back(pend_idx);
-      scratch.round_bucket[t] = kNoBucket;
+    }
+    const std::uint32_t* sb =
+        t < num_big_rounds
+            ? slot_bound.data() + std::size_t{t} * (num_workers + 1)
+            : nullptr;
+    if (pend_total > 0) {
+      round_has_inbox = true;
+      const std::size_t present_words = (bucket_size + 63) / 64;
+      scratch.inbox_offset.resize(bucket_size + 1);
+      scratch.inbox_cursor.resize(bucket_size);
+      scratch.inbox_present.resize(present_words);
+      scratch.round_arena.resize(pend_total);
+      scratch.inbox_offset[0] = 0;
+      // A worker's presence-word range: exact when its slot bounds are
+      // tile-aligned; the owner whose upper bound was clamped to the bucket
+      // size takes the ragged tail word (later workers' ranges are empty).
+      auto word_range = [&](std::uint32_t w, std::size_t& wlo, std::size_t& whi) {
+        wlo = sb[w] == bucket_size ? present_words : sb[w] / 64;
+        whi = sb[w + 1] == bucket_size ? present_words : sb[w + 1] / 64;
+      };
+      const bool parallel_gather =
+          num_workers > 1 && pend_total >= kMinMessagesParallelBarrier;
+      auto histogram_body = [&](std::uint32_t w) {
+        const std::uint32_t lo = sb[w];
+        const std::uint32_t hi = sb[w + 1];
+        if (lo < hi) {
+          std::fill(scratch.inbox_offset.begin() + lo + 1,
+                    scratch.inbox_offset.begin() + hi + 1, 0u);
+          std::size_t wlo, whi;
+          word_range(w, wlo, whi);
+          std::fill(scratch.inbox_present.begin() + wlo,
+                    scratch.inbox_present.begin() + whi, std::uint64_t{0});
+        }
+        auto& ws = workers[w];
+        const std::uint32_t seg_idx =
+            t < ws.pend_round.size() ? ws.pend_round[t] : kNoBucket;
+        if (seg_idx == kNoBucket) return;
+        for (const auto s : ws.pend_pool[seg_idx].slot) {
+          ++scratch.inbox_offset[s + 1];
+          scratch.inbox_present[s >> 6] |= std::uint64_t{1} << (s & 63);
+        }
+      };
+      auto scatter_body = [&](std::uint32_t w) {
+        // Cursor init touches only populated slots: countr_zero walks the
+        // set bits of this owner's presence words.
+        std::size_t wlo, whi;
+        word_range(w, wlo, whi);
+        for (std::size_t wi = wlo; wi < whi; ++wi) {
+          std::uint64_t bits = scratch.inbox_present[wi];
+          while (bits != 0) {
+            const std::size_t s = (wi << 6) + std::countr_zero(bits);
+            bits &= bits - 1;
+            scratch.inbox_cursor[s] = scratch.inbox_offset[s];
+          }
+        }
+        auto& ws = workers[w];
+        const std::uint32_t seg_idx =
+            t < ws.pend_round.size() ? ws.pend_round[t] : kNoBucket;
+        if (seg_idx == kNoBucket) return;
+        auto& seg = ws.pend_pool[seg_idx];
+        for (std::size_t i = 0; i < seg.slot.size(); ++i) {
+          scratch.round_arena[scratch.inbox_cursor[seg.slot[i]]++] = seg.msg[i];
+        }
+        seg.slot.clear();
+        seg.msg.clear();
+        ws.pend_free.push_back(seg_idx);
+        ws.pend_round[t] = kNoBucket;
+      };
+      if (parallel_gather) {
+        pool_->run_static_ctx(num_workers, histogram_body);
+      } else {
+        for (std::uint32_t w = 0; w < num_workers; ++w) histogram_body(w);
+      }
+      for (std::size_t s = 1; s <= bucket_size; ++s) {
+        scratch.inbox_offset[s] += scratch.inbox_offset[s - 1];
+      }
+      if (parallel_gather) {
+        pool_->run_static_ctx(num_workers, scatter_body);
+      } else {
+        for (std::uint32_t w = 0; w < num_workers; ++w) scatter_body(w);
+      }
     }
 
-    // --- Execute the bucket: statically sharded when large enough. ---
+    // --- Execute the bucket: statically sharded when large enough. When the
+    // bucket has at least one tile per worker, shards are the workers' own
+    // tile ranges -- the worker that scattered a tile's inboxes moments ago
+    // executes that tile's events while they are still cache-resident.
+    // Smaller buckets fall back to evenly-balanced shards (tile granularity
+    // would idle workers); either way results are bit-identical. ---
     std::uint32_t shards = 1;
     if (num_workers > 1 && bucket_size >= 2 * kMinEventsPerShard) {
       shards = static_cast<std::uint32_t>(std::min<std::size_t>(
@@ -516,6 +710,15 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         execute_event(events[i], i, workers[0], t);
       }
       ++rounds_serial;
+    } else if ((bucket_size + tile_events - 1) / tile_events >= num_workers) {
+      auto shard_body = [&](std::uint32_t w) {
+        const std::size_t lo = begin + sb[w];
+        const std::size_t hi = begin + sb[w + 1];
+        auto& ws = workers[w];
+        for (std::size_t i = lo; i < hi; ++i) execute_event(events[i], i, ws, t);
+      };
+      pool_->run_static_ctx(num_workers, shard_body);
+      ++rounds_parallel;
     } else {
       auto shard_body = [&](std::uint32_t s) {
         const std::size_t lo = begin + bucket_size * s / shards;
@@ -540,30 +743,53 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     // or is never scheduled would sit unread in any inbox; they are counted
     // and dropped, which is observationally identical. tag == T messages are
     // consumed by on_finish after the loop and so can never be violated.
-    auto deliver = [&](std::uint32_t alg, std::uint32_t tag, NodeId to,
-                       const VMessage& msg) {
-      if (tag == schedule.rounds(alg)) {
+    auto acquire_seg = [&](WorkerState& ow, std::uint32_t dest) -> PendingSeg& {
+      std::uint32_t idx = ow.pend_round[dest];
+      if (idx == kNoBucket) {
+        if (!ow.pend_free.empty()) {
+          idx = ow.pend_free.back();
+          ow.pend_free.pop_back();
+        } else {
+          idx = static_cast<std::uint32_t>(ow.pend_pool.size());
+          ow.pend_pool.emplace_back();
+        }
+        ow.pend_round[dest] = idx;
+      }
+      return ow.pend_pool[idx];
+    };
+    // Serial routing of one message by its precomputed destination. Parked
+    // messages go to the seg of the worker that OWNS the consumer's tile --
+    // not the worker that staged them -- so the serial barrier builds exactly
+    // the per-owner structure the parallel barrier builds, and gathers see
+    // one seg order regardless of thread count.
+    auto route_one = [&](std::uint32_t dest, std::uint32_t slot,
+                         std::uint32_t alg, NodeId to, const VMessage& msg) {
+      if (dest == kFinishDest) {
         scratch.finish_pending.push_back({alg, to, msg});
         return;
       }
-      const std::uint32_t consumer_time = schedule.row(alg, to)[tag];  // vround tag+1
-      if (consumer_time == kNeverScheduled) return;  // consumer never runs
-      if (consumer_time <= t) {
+      if (dest == kNeverDest) return;  // consumer never runs
+      if (dest <= t) {
         ++result.causality_violations;
         return;
       }
-      std::uint32_t idx = scratch.round_bucket[consumer_time];
-      if (idx == kNoBucket) {
-        if (!scratch.free_buckets.empty()) {
-          idx = scratch.free_buckets.back();
-          scratch.free_buckets.pop_back();
-        } else {
-          idx = static_cast<std::uint32_t>(scratch.bucket_pool.size());
-          scratch.bucket_pool.emplace_back();
-        }
-        scratch.round_bucket[consumer_time] = idx;
+      auto& seg = acquire_seg(workers[owner_of(dest, slot)], dest);
+      seg.slot.push_back(slot);
+      seg.msg.push_back(msg);
+    };
+    // Destination lookup for messages without precomputed lanes (retries on
+    // the faulty path re-enter the barrier from the retry queue).
+    auto deliver = [&](std::uint32_t alg, std::uint32_t tag, NodeId to,
+                       const VMessage& msg) {
+      if (tag == schedule.rounds(alg)) {
+        route_one(kFinishDest, 0, alg, to, msg);
+        return;
       }
-      scratch.bucket_pool[idx].push_back({alg, to, msg});
+      const std::size_t si = schedule.slot_index(alg, to, tag + 1);
+      const std::uint32_t dest = sched_flat[si];
+      const bool never = dest == kNeverScheduled;
+      route_one(never ? kNeverDest : dest, never ? 0 : scratch.slot_of[si], alg,
+                to, msg);
     };
     // Faulty-path transmission: one bandwidth slot in this big-round, fate
     // from the injector (pure in the message identity and t), retransmission
@@ -662,53 +888,143 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         transmit_faulty(entry.msg, entry.attempt);
       }
     }
-    for (std::uint32_t w = 0; w < num_workers; ++w) {
-      auto& staged = workers[w].staged;
-      scratch.staged_high_water = std::max(scratch.staged_high_water, staged.size());
-      messages_this_round += staged.size();
-      for (const auto& sm : staged) {
-        if (cfg_.record_patterns) {
-          // Patterns describe what the algorithm sent; retries are excluded.
-          result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
-        }
-        if (faults == nullptr) {
-          account_edge(sm.directed_edge);
-          ++result.total_messages;
-          if (recorder != nullptr) {
-            recorder->record(num_workers, FlightRecorder::Kind::kDeliver, t,
-                             (std::uint64_t{sm.alg} << 32) | sm.tag,
-                             sm.directed_edge);
-          }
-          deliver(sm.alg, sm.tag, sm.to, sm.msg);
-        } else {
-          transmit_faulty(sm, 0);
-        }
-      }
-      staged.clear();
+    std::uint64_t fresh_this_round = 0;
+    for (auto& ws : workers) {
+      scratch.staged_high_water =
+          std::max(scratch.staged_high_water, ws.staged.size());
+      fresh_this_round += ws.staged.size();
     }
+    messages_this_round += fresh_this_round;
 
     std::uint32_t max_load = 0;
-    for (const auto d : touched_edges) {
-      max_load = std::max(max_load, edge_count[d]);
-      if (cfg_.enforce_unit_capacity && edge_count[d] > 1) {
-        // Post-mortem before the hard failure: the rings hold the deliveries
-        // leading up to the overflow.
-        if (recorder != nullptr) recorder->dump_on("unit_capacity_overflow");
-        DASCHED_CHECK_LE(edge_count[d], 1u,
-                         "CONGEST bandwidth violated: >1 message per edge per round");
+    if (barrier_observed || num_workers == 1 ||
+        fresh_this_round < kMinMessagesParallelBarrier) {
+      // --- Serial barrier: one thread walks the shards in order. ---
+      for (std::uint32_t w = 0; w < num_workers; ++w) {
+        auto& ws = workers[w];
+        const std::size_t staged_count = ws.staged.size();
+        for (std::size_t i = 0; i < staged_count; ++i) {
+          const auto& sm = ws.staged[i];
+          if (cfg_.record_patterns) {
+            // Patterns describe what the algorithm sent; retries are excluded.
+            result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
+          }
+          if (faults == nullptr) {
+            account_edge(sm.directed_edge);
+            ++result.total_messages;
+            if (recorder != nullptr) {
+              recorder->record(num_workers, FlightRecorder::Kind::kDeliver, t,
+                               (std::uint64_t{sm.alg} << 32) | sm.tag,
+                               sm.directed_edge);
+            }
+            route_one(ws.staged_round[i], ws.staged_slot[i], sm.alg, sm.to,
+                      sm.msg);
+          } else {
+            transmit_faulty(sm, 0);
+          }
+        }
+        ws.staged.clear();
+        ws.staged_edge.clear();
+        ws.staged_round.clear();
+        ws.staged_slot.clear();
       }
-      if (profiler != nullptr) {
-        // Touched cells are visited in first-touch order, which is the
-        // shard-merged (== serial) staging order: deterministic across
-        // thread counts.
-        profiler->record_cell(t, d, edge_count[d]);
+
+      for (const auto d : touched_edges) {
+        max_load = std::max(max_load, edge_count[d]);
+        if (cfg_.enforce_unit_capacity && edge_count[d] > 1) {
+          // Post-mortem before the hard failure: the rings hold the
+          // deliveries leading up to the overflow.
+          if (recorder != nullptr) recorder->dump_on("unit_capacity_overflow");
+          DASCHED_CHECK_LE(edge_count[d], 1u,
+                           "CONGEST bandwidth violated: >1 message per edge per round");
+        }
+        if (profiler != nullptr) {
+          // Touched cells are visited in first-touch order, which is the
+          // shard-merged (== serial) staging order: deterministic across
+          // thread counts.
+          profiler->record_cell(t, d, edge_count[d]);
+        }
+        if (telemetry != nullptr) {
+          telemetry->record_value("executor.edge_load", edge_count[d]);
+        }
+        edge_count[d] = 0;
       }
-      if (telemetry != nullptr) {
-        telemetry->record_value("executor.edge_load", edge_count[d]);
+      touched_edges.clear();
+    } else {
+      // --- Tiled parallel barrier: one static pool dispatch, every worker
+      // scanning all shards' dense destination lanes in shard order but
+      // acting only on what it owns. Phase E folds edge loads over a static
+      // partition of the directed-edge space (self-zeroing, like the serial
+      // touched_edges sweep). Phase R appends each parked message to its
+      // owner's seg -- the exact structure route_one builds serially,
+      // because source order (shard-merged) and the slot -> owner map are
+      // thread-count independent. Worker 0 additionally takes the tag == T
+      // stream (no consumer slot) and the violation count. No atomics
+      // anywhere: every written cell has exactly one owner. ---
+      const std::uint64_t num_dir_edges = graph_.num_directed_edges();
+      auto barrier_body = [&](std::uint32_t w) {
+        auto& ow = workers[w];
+        const auto elo =
+            static_cast<std::uint32_t>(num_dir_edges * w / num_workers);
+        const auto ehi =
+            static_cast<std::uint32_t>(num_dir_edges * (w + 1) / num_workers);
+        std::uint32_t local_max = 0;
+        for (std::uint32_t v = 0; v < num_workers; ++v) {
+          for (const auto d : workers[v].staged_edge) {
+            if (d >= elo && d < ehi) {
+              if (edge_count[d]++ == 0) ow.touched.push_back(d);
+            }
+          }
+        }
+        for (const auto d : ow.touched) {
+          local_max = std::max(local_max, edge_count[d]);
+          if (cfg_.enforce_unit_capacity && edge_count[d] > 1) {
+            DASCHED_CHECK_LE(edge_count[d], 1u,
+                             "CONGEST bandwidth violated: >1 message per edge per round");
+          }
+          edge_count[d] = 0;
+        }
+        ow.touched.clear();
+        ow.max_load_partial = local_max;
+        for (std::uint32_t v = 0; v < num_workers; ++v) {
+          auto& src = workers[v];
+          const std::size_t m = src.staged.size();
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::uint32_t dest = src.staged_round[i];
+            if (dest >= kNeverDest) {
+              if (dest == kFinishDest && w == 0) {
+                const auto& sm = src.staged[i];
+                scratch.finish_pending.push_back({sm.alg, sm.to, sm.msg});
+              }
+              continue;
+            }
+            if (dest <= t) {
+              if (w == 0) ++ow.violations;
+              continue;
+            }
+            const std::uint32_t slot = src.staged_slot[i];
+            const auto* bound =
+                slot_bound.data() + std::size_t{dest} * (num_workers + 1);
+            if (slot < bound[w] || slot >= bound[w + 1]) continue;
+            auto& seg = acquire_seg(ow, dest);
+            seg.slot.push_back(slot);
+            seg.msg.push_back(src.staged[i].msg);
+          }
+        }
+      };
+      pool_->run_static_ctx(num_workers, barrier_body);
+      for (auto& ws : workers) {
+        max_load = std::max(max_load, ws.max_load_partial);
+        ws.max_load_partial = 0;
+        ws.staged.clear();
+        ws.staged_edge.clear();
+        ws.staged_round.clear();
+        ws.staged_slot.clear();
       }
-      edge_count[d] = 0;
+      result.causality_violations += workers[0].violations;
+      workers[0].violations = 0;
+      result.total_messages += fresh_this_round;
     }
-    touched_edges.clear();
     result.max_load_per_big_round[t] = max_load;
     result.max_edge_load = std::max(result.max_edge_load, max_load);
 

@@ -79,8 +79,34 @@
 
 namespace dasched {
 
+/// Default byte budget per delivery tile (see ExecConfig::tile_bytes): half
+/// an L1 data cache's worth of arena, which keeps one tile's scatter
+/// resident while its owner streams messages into it.
+inline constexpr std::size_t kDefaultTileBytes = 32 * 1024;
+
+/// Events per delivery tile for a byte budget: the largest power of two with
+/// tile_events * sizeof(VMessage) <= tile_bytes, clamped to >= 64 so one
+/// inbox-presence bitset word (64 events) never straddles two tiles -- the
+/// word-disjointness is what lets tile owners write the bitset without
+/// atomics. Benches report this value next to their --tile-bytes flag.
+constexpr std::uint32_t tile_events_for_bytes(std::size_t tile_bytes) {
+  const std::size_t budget = tile_bytes / sizeof(VMessage);
+  std::uint32_t events = 64;
+  while (std::size_t{events} * 2 <= budget) events *= 2;
+  return events;
+}
+
 struct ExecConfig {
   std::uint32_t max_payload_words = kDefaultMaxPayloadWords;
+  /// Tile geometry of the delivery barrier. Each big-round bucket's
+  /// (alg, node) consumer space is split into tiles of
+  /// tile_events_for_bytes(tile_bytes) consecutive events; contiguous tile
+  /// ranges are statically owned by pool workers, which histogram and
+  /// scatter only tiles they own (no atomics) and execute the same tiles'
+  /// events the next round (temporal locality across the barrier). Purely a
+  /// cache tuning knob: every value produces bit-identical ExecutionResults
+  /// (docs/PERFORMANCE.md, "Memory layout & allocation budget").
+  std::size_t tile_bytes = kDefaultTileBytes;
   /// Record per-algorithm communication patterns (indexed by virtual round).
   bool record_patterns = false;
   /// Enforce the raw CONGEST bound of one message per directed edge per

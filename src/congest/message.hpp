@@ -132,4 +132,11 @@ static_assert(std::is_trivially_copyable_v<InlinePayload>);
 static_assert(std::is_trivially_copyable_v<VMessage>);
 static_assert(std::is_trivially_destructible_v<VMessage>);
 
+/// Bytes one delivered message occupies in the executor's CSR inbox arena;
+/// the delivery barrier's tile geometry (ExecConfig::tile_bytes) is expressed
+/// in multiples of this. The alignment assert keeps tile boundaries on the
+/// arena's natural 8-byte grid.
+inline constexpr std::size_t kArenaMessageBytes = sizeof(VMessage);
+static_assert(alignof(VMessage) == alignof(std::uint64_t));
+
 }  // namespace dasched

@@ -86,6 +86,24 @@ class ScheduleTable {
     return {table_.data() + base_[a] + std::size_t{v} * rounds_[a], rounds_[a]};
   }
 
+  // --- Flat structure-of-arrays view (the executor's delivery barrier). ---
+  // The table is one dense u32 lane; exposing its layout lets the executor
+  // keep *parallel* per-slot lanes (e.g. the consumer-slot index of every
+  // (alg, node, vround) within its big-round bucket) and turn a delivery
+  // lookup into two indexed loads with no per-message row-span arithmetic.
+
+  /// Total number of (alg, node, vround) slots in the dense table.
+  std::size_t flat_size() const { return table_.size(); }
+
+  /// Position of (a, v, r) in flat(); the same index is valid into any lane
+  /// an engine keeps parallel to the table.
+  std::size_t slot_index(std::size_t a, NodeId v, std::uint32_t r) const {
+    return index(a, v, r);
+  }
+
+  /// The dense big-round lane itself: flat()[slot_index(a, v, r)] == at(a, v, r).
+  std::span<const std::uint32_t> flat() const { return table_; }
+
  private:
   std::size_t index(std::size_t a, NodeId v, std::uint32_t r) const {
     DASCHED_DCHECK(a < rounds_.size() && v < n_ && r >= 1 && r <= rounds_[a]);

@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <unordered_set>
 #include <vector>
@@ -107,11 +108,42 @@ Graph make_gnp_connected(NodeId n, double p, Rng& rng) {
   DASCHED_CHECK(n >= 1);
   EdgeList edges;
   std::unordered_set<std::uint64_t> seen;
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
-      if (rng.next_bool(p)) {
+  if (p >= 1.0) {
+    // Degenerate case: every pair is an edge; no randomness to consume.
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
         edges.emplace_back(u, v);
         seen.insert(edge_key(u, v));
+      }
+    }
+  } else if (p > 0.0) {
+    // Geometric skip-sampling (Batagelj-Brandes): instead of one Bernoulli
+    // draw per pair -- O(n^2), which made n = 10^6 graphs unreachable -- draw
+    // the gap to the next present edge directly from the geometric
+    // distribution, walking the upper triangle row by row in O(n + m) total.
+    // The graph is still a pure function of (n, p, rng state): exactly m + 1
+    // next_double() calls, in edge order. (The resulting graph differs from
+    // the per-pair sampler's output for the same seed; the pinned golden
+    // fingerprints in tests/test_fault.cpp and tests/test_profiler.cpp were
+    // regenerated once for this sampler.)
+    const double log_q = std::log1p(-p);  // log(1 - p) < 0
+    std::uint64_t v = 1;                  // higher endpoint: row v has pairs (0..v-1, v)
+    std::uint64_t w = 0;                  // next candidate lower endpoint
+    bool first = true;
+    while (v < n) {
+      const double r = rng.next_double();  // in [0, 1)
+      const double gap = std::floor(std::log1p(-r) / log_q);
+      // Advance by the gap (plus one past the previously emitted edge).
+      if (gap >= static_cast<double>(std::uint64_t{n} * n)) break;  // skipped past every pair
+      w += static_cast<std::uint64_t>(gap) + (first ? 0 : 1);
+      first = false;
+      while (v < n && w >= v) {
+        w -= v;
+        ++v;
+      }
+      if (v < n) {
+        edges.emplace_back(static_cast<NodeId>(w), static_cast<NodeId>(v));
+        seen.insert(edge_key(static_cast<NodeId>(w), static_cast<NodeId>(v)));
       }
     }
   }

@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(unsigned num_workers)
     : num_workers_(std::max(1u, num_workers)) {
   threads_.reserve(num_workers_ - 1);
   for (unsigned i = 1; i < num_workers_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -47,6 +47,7 @@ void ThreadPool::run(std::uint32_t num_shards,
   num_shards_ = num_shards;
   next_shard_ = 0;
   completed_ = 0;
+  static_assign_ = false;
   ++generation_;
   work_cv_.notify_all();
   while (claim_and_run(lock)) {
@@ -55,17 +56,53 @@ void ThreadPool::run(std::uint32_t num_shards,
   task_ = nullptr;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_static(std::uint32_t num_shards,
+                            const std::function<void(std::uint32_t)>& task) {
+  if (num_shards == 0) return;
+  DASCHED_CHECK_LE(num_shards, num_workers_);
+  std::unique_lock<std::mutex> lock(mu_);
+  DASCHED_CHECK_MSG(task_ == nullptr, "ThreadPool::run is not reentrant");
+  task_ = &task;
+  num_shards_ = num_shards;
+  next_shard_ = 0;  // unused under static assignment
+  completed_ = 0;
+  static_assign_ = true;
+  ++generation_;
+  work_cv_.notify_all();
+  {
+    // The caller is worker 0 and always owns shard 0.
+    lock.unlock();
+    task(0);
+    lock.lock();
+    ++completed_;
+  }
+  done_cv_.wait(lock, [this] { return completed_ == num_shards_; });
+  task_ = nullptr;
+  static_assign_ = false;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
   std::unique_lock<std::mutex> lock(mu_);
   std::uint64_t seen_generation = 0;
   for (;;) {
     work_cv_.wait(lock, [&] {
-      return stop_ || (task_ != nullptr && generation_ != seen_generation &&
-                       next_shard_ < num_shards_);
+      return stop_ ||
+             (task_ != nullptr && generation_ != seen_generation &&
+              (static_assign_ ? index < num_shards_ : next_shard_ < num_shards_));
     });
     if (stop_) return;
     seen_generation = generation_;
-    while (claim_and_run(lock)) {
+    if (static_assign_) {
+      // This worker's shard is its own index; no claiming, no stealing --
+      // the binding is what gives tile owners stable cache affinity.
+      const auto* task = task_;
+      lock.unlock();
+      (*task)(index);
+      lock.lock();
+      if (++completed_ == num_shards_) done_cv_.notify_all();
+    } else {
+      while (claim_and_run(lock)) {
+      }
     }
   }
 }

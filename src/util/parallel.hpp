@@ -58,11 +58,26 @@ class ThreadPool {
     run(num_shards, [&body](std::uint32_t shard) { body(shard); });
   }
 
+  /// Statically-bound variant: shard `i` runs on worker `i` (worker 0 is the
+  /// calling thread), so a caller that partitions state per worker -- e.g.
+  /// the executor's tile-owning delivery barrier -- gets the same thread
+  /// touching the same tiles batch after batch (temporal cache locality
+  /// across the big-round barrier). Requires num_shards <= num_workers().
+  /// Same barrier/happens-before guarantees as run().
+  void run_static(std::uint32_t num_shards,
+                  const std::function<void(std::uint32_t)>& task);
+
+  /// run_ctx's small-buffer dispatch for run_static.
+  template <typename F>
+  void run_static_ctx(std::uint32_t num_shards, F& body) {
+    run_static(num_shards, [&body](std::uint32_t shard) { body(shard); });
+  }
+
   /// std::thread::hardware_concurrency() clamped to >= 1.
   static unsigned hardware_workers();
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
   /// Claims and runs one shard; returns false when none remain. `lock` must
   /// hold mu_ on entry and holds it again on return.
   bool claim_and_run(std::unique_lock<std::mutex>& lock);
@@ -78,6 +93,7 @@ class ThreadPool {
   std::uint32_t next_shard_ = 0;
   std::uint32_t completed_ = 0;
   std::uint64_t generation_ = 0;  // bumped per batch so workers never re-enter an old one
+  bool static_assign_ = false;  // run_static batch: shard i is pinned to worker i
   bool stop_ = false;
 };
 

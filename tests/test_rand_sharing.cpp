@@ -27,7 +27,7 @@ SharingFixture make_fixture(Graph g, std::uint32_t dilation, std::uint64_t seed,
 }
 
 TEST(RandSharing, EveryNodeReceivesItsCenterSeed) {
-  Rng rng(3);
+  Rng rng(1);  // seed re-picked when make_gnp_connected moved to skip-sampling (PR 7)
   auto fx = make_fixture(make_gnp_connected(60, 0.08, rng), 2, 5, 5);
   RandSharingConfig cfg;
   cfg.seed = fx.seed;

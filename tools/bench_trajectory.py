@@ -2,24 +2,36 @@
 """Track executor throughput across commits: the bench trajectory.
 
 BENCH_TRAJECTORY.json (committed at the repo root) is an append-only series
-of throughput measurements extracted from the E14 bench report
-(bench_e14_profiler_overhead --report BENCH_e14.json). Each entry records the
-unprofiled and profiled messages/s of the E14.b workload plus a machine key
-(platform + cpu count + build type), so entries are only ever compared
-against entries from a comparable machine and build configuration.
+of throughput measurements extracted from the engineering bench reports:
+
+  e13  bench_e13_message_hotpath  --report BENCH_e13.json
+       serial message throughput of the zero-allocation hot path (E13.b)
+  e14  bench_e14_profiler_overhead --report BENCH_e14.json
+       unprofiled vs profiled throughput and the overhead bound (E14.b)
+  e15  bench_e15_scale_sweep      --report BENCH_e15.json
+       serial throughput of the largest ladder rung the sweep ran (E15.a)
+
+Each entry records its bench id, the headline serial messages/s, and a
+machine key (platform + cpu count + build type), so entries are only ever
+compared against entries from the same bench on a comparable machine and
+build configuration.
 
 Subcommands:
-  record  --bench BENCH_e14.json [--trajectory BENCH_TRAJECTORY.json]
+  record  --bench REPORT.json [--bench ...] [--trajectory BENCH_TRAJECTORY.json]
           [--label LABEL]
-      Append one entry to the trajectory file (creates it if missing).
-  check   --bench BENCH_e14.json [--trajectory BENCH_TRAJECTORY.json]
+      Append one entry per report to the trajectory file (creates it if
+      missing). The bench id is detected from the report's tables.
+  check   --bench REPORT.json [--bench ...] [--trajectory BENCH_TRAJECTORY.json]
           [--tolerance 0.10]
-      Compare the report against the committed trajectory. Fails (exit 1)
-      when unprofiled throughput regressed more than --tolerance against the
-      best prior entry with a matching machine key, or when the report's own
-      verdict columns (identity, <= 10% overhead, zero-alloc) say NO. With no
-      matching machine key the throughput comparison is skipped (CI runners
-      and dev boxes do not share baselines) but the verdicts still gate.
+      Compare each report against the committed trajectory. Fails (exit 1)
+      when a report's headline serial throughput regressed more than
+      --tolerance (default 10%) against the best prior entry of the SAME
+      bench with a matching machine key, or when the report's own verdict
+      columns (identity, <= 10% profiler overhead, zero-alloc) say NO. The
+      threshold is applied per bench: each report is only ever measured
+      against its own baseline series. With no matching machine key the
+      throughput comparison is skipped (CI runners and dev boxes do not
+      share baselines) but the verdicts still gate.
   self-test
       Run the built-in unit checks on synthetic data.
 
@@ -62,39 +74,121 @@ def load_json(path):
         return json.load(f)
 
 
-def find_table(report, prefix):
+def find_table(report, prefix, required=True):
     for t in report.get("tables", []):
         if t["title"].startswith(prefix):
             return t
-    raise SystemExit(f"report has no table starting with {prefix!r}")
+    if required:
+        raise SystemExit(f"report has no table starting with {prefix!r}")
+    return None
 
 
-def cell(table, row_key, column):
+def cell(table, row_key, column, key_column=None):
     cols = table["columns"]
-    key_idx = cols.index("engine") if "engine" in cols else 0
+    if key_column is not None:
+        key_idx = cols.index(key_column)
+    else:
+        key_idx = cols.index("engine") if "engine" in cols else 0
     for row in table["rows"]:
         if row[key_idx] == row_key:
             return row[cols.index(column)]
     raise SystemExit(f"table {table['title']!r} has no row {row_key!r}")
 
 
-def extract_entry(report, label):
-    """One trajectory entry from a BENCH_e14.json report."""
+def detect_bench(report):
+    """Bench id from the tables the report carries (title prefixes are the
+    stable contract; meta.bench is a binary path and varies by build dir)."""
+    for bench_id, prefix in (("e13", "E13."), ("e14", "E14."), ("e15", "E15.")):
+        if find_table(report, prefix, required=False) is not None:
+            return bench_id
+    raise SystemExit("report carries no recognized E13/E14/E15 table")
+
+
+# --- Per-bench extraction: one trajectory entry from one report. Every
+# entry carries `messages_per_sec_serial`, the headline metric the
+# regression check compares. ---
+
+
+def extract_e13(report, label):
+    thr = find_table(report, "E13.b")
+    return {
+        "bench": "e13",
+        "messages_per_sec_serial": float(cell(thr, "1", "messages/s",
+                                              key_column="threads")),
+    }
+
+
+def extract_e14(report, label):
     thr = find_table(report, "E14.b")
+    off = float(cell(thr, "profiler off", "messages/s"))
+    return {
+        "bench": "e14",
+        "messages_per_sec_serial": off,
+        # Kept for continuity with the seed entries' field names.
+        "messages_per_sec_off": off,
+        "messages_per_sec_on": float(cell(thr, "profiler on", "messages/s")),
+        "overhead_pct": float(cell(thr, "profiler on", "overhead %")),
+    }
+
+
+def extract_e15(report, label):
+    ladder = find_table(report, "E15.a")
+    cols = ladder["columns"]
+    if not ladder["rows"]:
+        raise SystemExit("E15.a ladder is empty")
+    # The headline rung is the largest n the sweep ran (rows are emitted in
+    # ascending n; --max-n trims from the top).
+    top = max(ladder["rows"], key=lambda r: int(r[cols.index("n")]))
+    return {
+        "bench": "e15",
+        "messages_per_sec_serial": float(top[cols.index("messages/s")]),
+        "ladder_top_n": int(top[cols.index("n")]),
+        "ladder_top_messages": int(top[cols.index("messages")]),
+        "peak_rss_mib": float(top[cols.index("peak RSS MiB")]),
+    }
+
+
+EXTRACTORS = {"e13": extract_e13, "e14": extract_e14, "e15": extract_e15}
+
+
+def extract_entry(report, label):
+    bench_id = detect_bench(report)
     entry = {
         "label": label,
         "date": datetime.date.today().isoformat(),
         "machine": machine_key(report),
-        "bench": "e14",
-        "messages_per_sec_off": float(cell(thr, "profiler off", "messages/s")),
-        "messages_per_sec_on": float(cell(thr, "profiler on", "messages/s")),
-        "overhead_pct": float(cell(thr, "profiler on", "overhead %")),
     }
+    entry.update(EXTRACTORS[bench_id](report, label))
     return entry
 
 
-def check_verdicts(report):
-    """The report's own hard columns; independent of any baseline."""
+def serial_metric(entry):
+    # Seed-era e14 entries predate `messages_per_sec_serial`.
+    v = entry.get("messages_per_sec_serial", entry.get("messages_per_sec_off"))
+    return None if v is None else float(v)
+
+
+# --- Per-bench hard verdicts: the report's own columns, independent of any
+# baseline. ---
+
+
+def verdicts_e13(report):
+    failures = []
+    audit = find_table(report, "E13.a")
+    cols = audit["columns"]
+    for row in audit["rows"]:
+        if int(row[cols.index("run")]) >= 2 and row[cols.index("zero-alloc")] != "yes":
+            failures.append(f"E13.a: steady-state run allocated: {row}")
+    thr = find_table(report, "E13.b")
+    cols = thr["columns"]
+    for row in thr["rows"]:
+        if row[cols.index("identical")] != "yes":
+            failures.append(
+                f"E13.b: threads={row[cols.index('threads')]} diverged from serial")
+    return failures
+
+
+def verdicts_e14(report):
     failures = []
     identity = find_table(report, "E14.a")
     for column in ("identical", "profiler agrees"):
@@ -114,6 +208,25 @@ def check_verdicts(report):
     return failures
 
 
+def verdicts_e15(report):
+    failures = []
+    ladder = find_table(report, "E15.a")
+    cols = ladder["columns"]
+    for row in ladder["rows"]:
+        if row[cols.index("identical")] != "yes":
+            failures.append(
+                f"E15.a: n={row[cols.index('n')]} threaded results diverged "
+                "from serial")
+    return failures
+
+
+VERDICTS = {"e13": verdicts_e13, "e14": verdicts_e14, "e15": verdicts_e15}
+
+
+def check_verdicts(report):
+    return VERDICTS[detect_bench(report)](report)
+
+
 def load_trajectory(path):
     if not os.path.exists(path):
         return {"schema": SCHEMA, "entries": []}
@@ -124,17 +237,17 @@ def load_trajectory(path):
 
 
 def cmd_record(args):
-    report = load_json(args.bench)
     doc = load_trajectory(args.trajectory)
-    entry = extract_entry(report, args.label)
-    doc["entries"].append(entry)
+    for bench_path in args.bench:
+        report = load_json(bench_path)
+        entry = extract_entry(report, args.label)
+        doc["entries"].append(entry)
+        print(f"recorded {entry['bench']} {entry['label']!r}: "
+              f"{serial_metric(entry):.0f} msg/s serial")
     with open(args.trajectory, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print(f"recorded {entry['label']!r}: "
-          f"{entry['messages_per_sec_off']:.0f} msg/s unprofiled, "
-          f"{entry['overhead_pct']:+.1f}% profiled overhead "
-          f"-> {args.trajectory} ({len(doc['entries'])} entries)")
+    print(f"-> {args.trajectory} ({len(doc['entries'])} entries)")
     return 0
 
 
@@ -143,32 +256,38 @@ def check(report, doc, tolerance):
     failures = check_verdicts(report)
 
     current = extract_entry(report, "current")
+    bench_id = current["bench"]
     here = current["machine"]
-    peers = [e for e in doc.get("entries", []) if same_machine(e["machine"], here)]
+    # The per-bench threshold: only prior entries of the SAME bench on the
+    # same machine key form the baseline series.
+    peers = [e for e in doc.get("entries", [])
+             if e.get("bench") == bench_id and same_machine(e["machine"], here)
+             and serial_metric(e) is not None]
     if not peers:
-        print(f"no prior trajectory entries for machine {here}; "
+        print(f"[{bench_id}] no prior trajectory entries for machine {here}; "
               "skipping the throughput comparison")
         return failures
 
-    best = max(peers, key=lambda e: e["messages_per_sec_off"])
-    floor = best["messages_per_sec_off"] * (1.0 - tolerance)
-    now = current["messages_per_sec_off"]
-    print(f"unprofiled throughput: {now:.0f} msg/s "
-          f"(best prior on this machine: {best['messages_per_sec_off']:.0f} "
+    best = max(peers, key=serial_metric)
+    floor = serial_metric(best) * (1.0 - tolerance)
+    now = serial_metric(current)
+    print(f"[{bench_id}] serial throughput: {now:.0f} msg/s "
+          f"(best prior on this machine: {serial_metric(best):.0f} "
           f"[{best['label']}], floor at -{tolerance:.0%}: {floor:.0f})")
     if now < floor:
         failures.append(
-            f"throughput regression: {now:.0f} msg/s is more than "
+            f"{bench_id}: throughput regression: {now:.0f} msg/s is more than "
             f"{tolerance:.0%} below the best prior entry "
-            f"{best['messages_per_sec_off']:.0f} ({best['label']})"
+            f"{serial_metric(best):.0f} ({best['label']})"
         )
     return failures
 
 
 def cmd_check(args):
-    report = load_json(args.bench)
     doc = load_trajectory(args.trajectory)
-    failures = check(report, doc, args.tolerance)
+    failures = []
+    for bench_path in args.bench:
+        failures.extend(check(load_json(bench_path), doc, args.tolerance))
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)
     if not failures:
@@ -179,7 +298,7 @@ def cmd_check(args):
 # --- Self-test on synthetic data. ---
 
 
-def synthetic_report(off_mps, overhead_pct, zero_alloc="yes", identical="yes"):
+def synthetic_e14(off_mps, overhead_pct, zero_alloc="yes", identical="yes"):
     on_mps = off_mps / (1.0 + overhead_pct / 100.0)
     return {
         "schema": "dasched.run_report.v1",
@@ -219,36 +338,126 @@ def synthetic_report(off_mps, overhead_pct, zero_alloc="yes", identical="yes"):
     }
 
 
+def synthetic_e13(serial_mps, zero_alloc="yes", identical="yes"):
+    return {
+        "schema": "dasched.run_report.v1",
+        "meta": {"build_type": "Release"},
+        "tables": [
+            {
+                "title": "E13.a -- steady-state allocation audit",
+                "columns": ["run", "messages", "allocs/run", "hot-path allocs",
+                            "zero-alloc"],
+                "rows": [
+                    ["1", "100", "999", "72", "warm-up"],
+                    ["2", "100", "0",
+                     "0" if zero_alloc == "yes" else "7", zero_alloc],
+                ],
+            },
+            {
+                "title": "E13.b -- message throughput",
+                "columns": ["threads", "ms/run", "messages/s", "speedup",
+                            "identical"],
+                "rows": [
+                    ["1", "10.0", f"{serial_mps:.0f}", "1.00", "yes"],
+                    ["4", "9.0", f"{serial_mps * 1.1:.0f}", "1.10", identical],
+                ],
+            },
+        ],
+    }
+
+
+def synthetic_e15(serial_mps, identical="yes", top_n=1_000_000):
+    return {
+        "schema": "dasched.run_report.v1",
+        "meta": {"build_type": "Release"},
+        "tables": [
+            {
+                "title": "E15.a -- scale ladder",
+                "columns": ["n", "dir edges", "T", "big-rounds", "messages",
+                            "tiles", "serial ms", "messages/s", "x2 speedup",
+                            "x4 speedup", "identical", "peak RSS MiB"],
+                "rows": [
+                    ["1000", "6000", "8", "107", "4800000", "16", "300.0",
+                     f"{serial_mps * 1.5:.0f}", "1.0", "0.8", "yes", "150.0"],
+                    [f"{top_n}", "4000000", "2", "101", "800000000", "3907",
+                     "80000.0", f"{serial_mps:.0f}", "1.0", "0.8", identical,
+                     "20000.0"],
+                ],
+            },
+        ],
+    }
+
+
 def self_test():
-    me = machine_key(synthetic_report(1.0, 0.0))
+    me = machine_key(synthetic_e14(1.0, 0.0))
     elsewhere = {"platform": "Plan9-mips", "cpu_count": 1, "build": "Release"}
     baseline = {
         "schema": SCHEMA,
-        "entries": [{
-            "label": "seed", "date": "2026-01-01", "machine": me, "bench": "e14",
-            "messages_per_sec_off": 1_000_000.0,
-            "messages_per_sec_on": 950_000.0, "overhead_pct": 5.0,
-        }],
+        "entries": [
+            {
+                # A seed-era e14 entry without messages_per_sec_serial: the
+                # legacy field must still feed the comparison.
+                "label": "seed", "date": "2026-01-01", "machine": me,
+                "bench": "e14",
+                "messages_per_sec_off": 1_000_000.0,
+                "messages_per_sec_on": 950_000.0, "overhead_pct": 5.0,
+            },
+            {
+                "label": "seed", "date": "2026-01-01", "machine": me,
+                "bench": "e13", "messages_per_sec_serial": 2_000_000.0,
+            },
+            {
+                "label": "seed", "date": "2026-01-01", "machine": me,
+                "bench": "e15", "messages_per_sec_serial": 500_000.0,
+                "ladder_top_n": 1_000_000,
+            },
+        ],
     }
 
-    assert check(synthetic_report(990_000, 5.0), baseline, 0.10) == []
-    assert check(synthetic_report(905_000, 5.0), baseline, 0.10) == []  # at floor
-    fails = check(synthetic_report(800_000, 5.0), baseline, 0.10)
+    # Bench detection from tables.
+    assert detect_bench(synthetic_e13(1.0)) == "e13"
+    assert detect_bench(synthetic_e14(1.0, 0.0)) == "e14"
+    assert detect_bench(synthetic_e15(1.0)) == "e15"
+
+    # e14: unchanged behavior against a legacy-field baseline.
+    assert check(synthetic_e14(990_000, 5.0), baseline, 0.10) == []
+    assert check(synthetic_e14(905_000, 5.0), baseline, 0.10) == []  # at floor
+    fails = check(synthetic_e14(800_000, 5.0), baseline, 0.10)
     assert any("regression" in f for f in fails), fails
-    fails = check(synthetic_report(990_000, 14.0), baseline, 0.10)
+    fails = check(synthetic_e14(990_000, 14.0), baseline, 0.10)
     assert any("overhead" in f for f in fails), fails
-    fails = check(synthetic_report(990_000, 5.0, zero_alloc="NO"), baseline, 0.10)
+    fails = check(synthetic_e14(990_000, 5.0, zero_alloc="NO"), baseline, 0.10)
     assert any("allocated" in f for f in fails), fails
-    fails = check(synthetic_report(990_000, 5.0, identical="NO"), baseline, 0.10)
+    fails = check(synthetic_e14(990_000, 5.0, identical="NO"), baseline, 0.10)
     assert any("E14.a" in f for f in fails), fails
+
+    # e13: its own series -- 1.9M is fine against its 2M baseline even though
+    # the e14 baseline is 1M.
+    assert check(synthetic_e13(1_900_000), baseline, 0.10) == []
+    fails = check(synthetic_e13(1_700_000), baseline, 0.10)
+    assert any("e13: throughput regression" in f for f in fails), fails
+    fails = check(synthetic_e13(1_900_000, zero_alloc="NO"), baseline, 0.10)
+    assert any("E13.a" in f for f in fails), fails
+    fails = check(synthetic_e13(1_900_000, identical="NO"), baseline, 0.10)
+    assert any("E13.b" in f for f in fails), fails
+
+    # e15: headline metric is the largest rung; identity gates.
+    assert check(synthetic_e15(480_000), baseline, 0.10) == []
+    fails = check(synthetic_e15(400_000), baseline, 0.10)
+    assert any("e15: throughput regression" in f for f in fails), fails
+    fails = check(synthetic_e15(480_000, identical="NO"), baseline, 0.10)
+    assert any("E15.a" in f for f in fails), fails
+    entry = extract_entry(synthetic_e15(480_000), "x")
+    assert entry["ladder_top_n"] == 1_000_000, entry
+
     # A foreign machine key skips the throughput comparison but keeps verdicts.
     foreign = {"schema": SCHEMA, "entries": [dict(baseline["entries"][0],
                                                   machine=elsewhere)]}
-    assert check(synthetic_report(1.0, 5.0), foreign, 0.10) == []
+    assert check(synthetic_e14(1.0, 5.0), foreign, 0.10) == []
     # Same box, different build configuration: never compared.
     other_build = {"schema": SCHEMA, "entries": [dict(
         baseline["entries"][0], machine=dict(me, build="RelWithDebInfo"))]}
-    assert check(synthetic_report(1.0, 5.0), other_build, 0.10) == []
+    assert check(synthetic_e14(1.0, 5.0), other_build, 0.10) == []
     print("self-test passed")
     return 0
 
@@ -259,18 +468,21 @@ def main():
 
     for name in ("record", "check"):
         p = sub.add_parser(name)
-        p.add_argument("--bench", default="BENCH_e14.json",
-                       help="bench report to read (default: %(default)s)")
+        p.add_argument("--bench", action="append", default=None,
+                       help="bench report(s) to read; repeatable "
+                            "(default: BENCH_e14.json)")
         p.add_argument("--trajectory", default="BENCH_TRAJECTORY.json",
                        help="trajectory file (default: %(default)s)")
     sub.choices["record"].add_argument("--label", default="dev",
                                        help="entry label, e.g. a short commit id")
     sub.choices["check"].add_argument("--tolerance", type=float, default=0.10,
                                       help="allowed fractional regression "
-                                           "(default: %(default)s)")
+                                           "per bench (default: %(default)s)")
     sub.add_parser("self-test")
 
     args = parser.parse_args()
+    if getattr(args, "bench", None) is None and args.command != "self-test":
+        args.bench = ["BENCH_e14.json"]
     if args.command == "record":
         return cmd_record(args)
     if args.command == "check":
