@@ -1,0 +1,273 @@
+// dasched_serve: the scheduling-as-a-service daemon driver.
+//
+//   dasched_serve [--graph FAMILY] [--n N] [--seed S]
+//                 [--arrival-rate R] [--arrival-seed S] [--tenants T]
+//                 [--duration TICKS] [--radius H] [--specs-per-tenant P]
+//                 [--epoch TICKS] [--phase-len P] [--budget B]
+//                 [--cache CAP] [--max-queue Q] [--max-deferrals D]
+//                 [--threads T] [--report OUT.json] [--trace OUT.trace.json]
+//
+// Generates a seeded multi-tenant Poisson job stream (service/job_stream.hpp)
+// and serves it to quiescence with the SchedulerDaemon (docs/SERVICE.md):
+// epoch-wise incremental schedule composition, solo-profile caching keyed on
+// (program fingerprint, graph fingerprint), the static verifier as the
+// admission gate on every composed schedule, and per-tenant fairness with
+// congestion backpressure. Prints a service summary plus per-tenant and
+// rejection breakdowns; --report embeds the `dasched.service.v1` section in a
+// structured run report. The whole run is a pure function of the flags:
+// identical output (and service fingerprint) for every --threads value.
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "cli_common.hpp"
+#include "service/daemon.hpp"
+#include "service/job_stream.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/run_report.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dasched;
+
+struct Options {
+  std::string graph = "gnp";
+  NodeId n = 200;
+  std::uint64_t seed = 1;
+  double arrival_rate = 0.5;
+  std::uint64_t arrival_seed = 1;
+  std::uint32_t tenants = 4;
+  std::uint64_t duration = 64;
+  std::uint32_t radius = 3;
+  std::uint32_t specs_per_tenant = 2;
+  std::uint64_t epoch = 8;
+  std::uint32_t phase_len = 0;   // 0 = derive ceil(log2 n)
+  std::uint32_t budget = 0;      // 0 = derive 2 * phase_len
+  std::uint64_t cache = 64;
+  std::uint64_t max_queue = 256;
+  std::uint32_t max_deferrals = 4;
+  std::uint32_t threads = 0;
+  std::string report_path;
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--graph gnp|grid|torus|path|cycle|tree|regular] [--n N]\n"
+               "          [--seed S] [--arrival-rate R] [--arrival-seed S]\n"
+               "          [--tenants T] [--duration TICKS] [--radius H]\n"
+               "          [--specs-per-tenant P] [--epoch TICKS] [--phase-len P]\n"
+               "          [--budget B] [--cache CAP] [--max-queue Q]\n"
+               "          [--max-deferrals D] [--threads T]\n"
+               "          [--report OUT.json] [--trace OUT.trace.json]\n",
+               argv0);
+  std::exit(2);
+}
+
+double parse_rate_or_exit(const char* s, const char* flag) {
+  double v = 0.0;
+  if (!parse_flag_double(s, &v) || !(v > 0.0)) {
+    std::fprintf(stderr, "%s: expected a rate > 0, got '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (const char* v = need("--graph")) {
+      opt.graph = v;
+    } else if (const char* vn = need("--n")) {
+      opt.n = cli::parse_u32_or_exit(vn, "--n");
+    } else if (const char* vs = need("--seed")) {
+      opt.seed = cli::parse_u64_or_exit(vs, "--seed");
+    } else if (const char* var = need("--arrival-rate")) {
+      opt.arrival_rate = parse_rate_or_exit(var, "--arrival-rate");
+    } else if (const char* vas = need("--arrival-seed")) {
+      opt.arrival_seed = cli::parse_u64_or_exit(vas, "--arrival-seed");
+    } else if (const char* vt = need("--tenants")) {
+      opt.tenants = cli::parse_u32_or_exit(vt, "--tenants");
+    } else if (const char* vd = need("--duration")) {
+      opt.duration = cli::parse_u64_or_exit(vd, "--duration");
+    } else if (const char* vr = need("--radius")) {
+      opt.radius = cli::parse_u32_or_exit(vr, "--radius");
+    } else if (const char* vsp = need("--specs-per-tenant")) {
+      opt.specs_per_tenant = cli::parse_u32_or_exit(vsp, "--specs-per-tenant");
+    } else if (const char* ve = need("--epoch")) {
+      opt.epoch = cli::parse_u64_or_exit(ve, "--epoch");
+    } else if (const char* vp = need("--phase-len")) {
+      opt.phase_len = cli::parse_u32_or_exit(vp, "--phase-len");
+    } else if (const char* vb = need("--budget")) {
+      opt.budget = cli::parse_u32_or_exit(vb, "--budget");
+    } else if (const char* vc = need("--cache")) {
+      opt.cache = cli::parse_u64_or_exit(vc, "--cache");
+    } else if (const char* vq = need("--max-queue")) {
+      opt.max_queue = cli::parse_u64_or_exit(vq, "--max-queue");
+    } else if (const char* vmd = need("--max-deferrals")) {
+      opt.max_deferrals = cli::parse_u32_or_exit(vmd, "--max-deferrals");
+    } else if (const char* vth = need("--threads")) {
+      opt.threads = cli::parse_u32_or_exit(vth, "--threads");
+    } else if (const char* vrp = need("--report")) {
+      opt.report_path = vrp;
+    } else if (const char* vtp = need("--trace")) {
+      opt.trace_path = vtp;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.tenants == 0) {
+    std::fprintf(stderr, "--tenants: must be >= 1\n");
+    std::exit(2);
+  }
+  if (opt.duration == 0) {
+    std::fprintf(stderr, "--duration: must be >= 1\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse(argc, argv);
+  const Graph g = cli::make_graph(opt.graph, opt.n, opt.seed);
+
+  const bool telemetry_on = !opt.report_path.empty() || !opt.trace_path.empty();
+  MetricsRegistry metrics;
+  ChromeTraceSink trace("dasched_serve");
+  TeeSink tee({&metrics, &trace});
+  TelemetrySink* const sink = telemetry_on ? &tee : nullptr;
+
+  service::JobStreamConfig stream_cfg;
+  stream_cfg.arrival_rate = opt.arrival_rate;
+  stream_cfg.arrival_seed = opt.arrival_seed;
+  stream_cfg.tenants = opt.tenants;
+  stream_cfg.duration = opt.duration;
+  stream_cfg.radius = opt.radius;
+  stream_cfg.specs_per_tenant = opt.specs_per_tenant;
+  const auto stream = service::generate_job_stream(stream_cfg, g.num_nodes());
+
+  service::ServiceConfig cfg;
+  cfg.phase_len = opt.phase_len;
+  cfg.congestion_budget = opt.budget;
+  cfg.delay_seed = opt.seed;
+  cfg.epoch_ticks = opt.epoch;
+  cfg.cache_capacity = opt.cache;
+  cfg.max_queue = opt.max_queue;
+  cfg.max_deferrals = opt.max_deferrals;
+  cfg.num_threads = opt.threads;
+  cfg.telemetry = sink;
+  service::SchedulerDaemon daemon(g, cfg);
+
+  std::printf(
+      "graph=%s n=%u m=%u   stream: rate=%.3f tenants=%u duration=%llu jobs=%zu\n"
+      "service: phase_len=%u budget=%u epoch=%llu cache=%llu threads=%u\n\n",
+      opt.graph.c_str(), g.num_nodes(), g.num_edges(), opt.arrival_rate,
+      opt.tenants, static_cast<unsigned long long>(opt.duration), stream.size(),
+      daemon.phase_len(), daemon.congestion_budget(),
+      static_cast<unsigned long long>(opt.epoch),
+      static_cast<unsigned long long>(opt.cache), opt.threads);
+
+  const service::ServiceResult result = daemon.serve(stream);
+  const auto& stats = result.stats;
+
+  Table summary("service summary");
+  summary.set_header({"metric", "value"});
+  summary.add_row({"arrived", Table::fmt(stats.arrived)});
+  summary.add_row({"admitted", Table::fmt(stats.admitted)});
+  summary.add_row({"completed", Table::fmt(stats.completed)});
+  summary.add_row({"rejected", Table::fmt(stats.rejected())});
+  summary.add_row({"deferrals", Table::fmt(stats.deferrals)});
+  summary.add_row({"epochs", Table::fmt(stats.composes)});
+  summary.add_row({"ticks", Table::fmt(stats.ticks)});
+  summary.add_row({"peak queue depth", Table::fmt(stats.peak_queue_depth)});
+  summary.add_row({"gate runs", Table::fmt(stats.gate_runs)});
+  summary.add_row({"gate rejections", Table::fmt(stats.gate_rejections)});
+  summary.add_row({"cache hits", Table::fmt(stats.cache.hits)});
+  summary.add_row({"cache misses", Table::fmt(stats.cache.misses)});
+  summary.add_row({"cache hit rate", Table::fmt(result.cache_hit_rate(), 3)});
+  summary.add_row({"latency p50 (ticks)", Table::fmt(result.latency_p50)});
+  summary.add_row({"latency p99 (ticks)", Table::fmt(result.latency_p99)});
+  summary.add_row({"total messages", Table::fmt(stats.total_messages)});
+  summary.add_row({"jobs/sec", Table::fmt(result.jobs_per_sec(), 1)});
+  summary.print(std::cout);
+
+  // Per-tenant breakdown: the fairness story in one table.
+  std::map<std::uint32_t, std::array<std::uint64_t, 4>> tenants;  // arr/adm/comp/rej
+  for (const auto& out : result.outcomes) {
+    auto& row = tenants[out.request.tenant];
+    ++row[0];
+    if (out.admitted) ++row[1];
+    if (out.completed) ++row[2];
+    if (out.rejected != service::RejectCode::kNone) ++row[3];
+  }
+  Table tenant_table("per-tenant");
+  tenant_table.set_header({"tenant", "arrived", "admitted", "completed", "rejected"});
+  for (const auto& [tenant, row] : tenants) {
+    tenant_table.add_row({Table::fmt(std::uint64_t{tenant}), Table::fmt(row[0]),
+                          Table::fmt(row[1]), Table::fmt(row[2]), Table::fmt(row[3])});
+  }
+  std::printf("\n");
+  tenant_table.print(std::cout);
+
+  if (stats.rejected() > 0) {
+    Table rejects("rejections");
+    rejects.set_header({"reason", "jobs"});
+    rejects.add_row({"queue-full", Table::fmt(stats.rejected_queue_full)});
+    rejects.add_row({"congestion-budget", Table::fmt(stats.rejected_congestion)});
+    rejects.add_row({"verify-failed", Table::fmt(stats.rejected_verify)});
+    std::printf("\n");
+    rejects.print(std::cout);
+  }
+
+  std::printf("\nservice fingerprint: 0x%016llx\n",
+              static_cast<unsigned long long>(result.fingerprint));
+
+  int rc = stats.admitted == stats.completed ? 0 : 1;
+  if (!opt.report_path.empty()) {
+    RunReport report;
+    report.set_meta("tool", "dasched_serve");
+    report.set_meta("graph", opt.graph);
+    report.set_meta("n", std::uint64_t{g.num_nodes()});
+    report.set_meta("m", std::uint64_t{g.num_edges()});
+    report.set_meta("arrival_rate", opt.arrival_rate);
+    report.set_meta("arrival_seed", std::uint64_t{opt.arrival_seed});
+    report.set_meta("tenants", std::uint64_t{opt.tenants});
+    report.set_meta("duration", std::uint64_t{opt.duration});
+    report.set_meta("seed", std::uint64_t{opt.seed});
+    report.set_meta("threads", std::uint64_t{opt.threads});
+    report.set_meta("phase_len", std::uint64_t{daemon.phase_len()});
+    report.set_meta("congestion_budget", std::uint64_t{daemon.congestion_budget()});
+    report.add_table(summary);
+    report.add_table(tenant_table);
+    report.set_section_json("service", result.to_json());
+    report.attach_metrics(metrics);
+    if (report.write_file(opt.report_path)) {
+      std::printf("report written to %s\n", opt.report_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write report to %s\n", opt.report_path.c_str());
+      rc = 1;
+    }
+  }
+  if (!opt.trace_path.empty()) {
+    if (trace.write_file(opt.trace_path)) {
+      std::printf("trace written to %s (%zu events)\n", opt.trace_path.c_str(),
+                  trace.num_events());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", opt.trace_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -5,6 +5,7 @@
 
 #include "util/alloc_counter.hpp"
 #include "util/check.hpp"
+#include "util/fingerprint.hpp"
 
 namespace dasched {
 
@@ -1142,6 +1143,21 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   }
 
   return result;
+}
+
+std::uint64_t result_fingerprint(const ExecutionResult& result) {
+  Fingerprint fp;
+  for (const auto& per_alg : result.outputs) {
+    for (const auto& out : per_alg) {
+      fp.mix(out.size());
+      for (const auto w : out) fp.mix(w);
+    }
+  }
+  for (const auto& per_alg : result.completed) {
+    for (const auto c : per_alg) fp.mix(c);
+  }
+  for (const auto l : result.max_load_per_big_round) fp.mix(l);
+  return fp.digest();
 }
 
 }  // namespace dasched

@@ -232,6 +232,15 @@ struct ExecutionResult {
   bool all_completed() const;
 };
 
+/// Canonical fingerprint of an ExecutionResult: FNV-1a (util/fingerprint.hpp)
+/// over the per-(alg, node) outputs (size then words), the completion flags,
+/// and the per-big-round max loads -- exactly the fields the bit-identity
+/// contract pins across thread counts, tile sizes, and observer attachments.
+/// The golden constants in tests/test_fault.cpp and tests/test_profiler.cpp
+/// are digests of this function; the service layer folds it into its own
+/// end-to-end fingerprint (src/service/daemon.hpp).
+std::uint64_t result_fingerprint(const ExecutionResult& result);
+
 /// Reusable execution buffers (worker staging, pending-round delivery
 /// buckets, the CSR inbox arena); owned by the Executor so repeated runs
 /// reuse warmed-up capacity. Defined in executor.cpp.

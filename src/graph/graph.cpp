@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/fingerprint.hpp"
+
 namespace dasched {
 
 Graph::Graph(NodeId n, std::span<const std::pair<NodeId, NodeId>> edges) : n_(n) {
@@ -92,6 +94,17 @@ bool Graph::is_connected() const {
     }
   }
   return reached == n_;
+}
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  Fingerprint fp;
+  fp.mix(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [lo, hi] = g.endpoints(e);
+    fp.mix(lo);
+    fp.mix(hi);
+  }
+  return fp.digest();
 }
 
 }  // namespace dasched

@@ -97,4 +97,13 @@ class Graph {
   std::vector<std::uint32_t> directed_adjacency_; // parallel to adjacency_
 };
 
+/// Canonical topology fingerprint (util/fingerprint.hpp): FNV-1a over n
+/// followed by every undirected edge's (min, max) endpoints in edge-id
+/// order. Edge ids are construction order, so two graphs fingerprint equal
+/// iff they are the same graph built the same way -- exactly the equivalence
+/// the executor's determinism contract is stated in. Cache keys (the service
+/// profile cache) and bench identity columns use this as the graph half of
+/// their (program, graph) key.
+std::uint64_t graph_fingerprint(const Graph& g);
+
 }  // namespace dasched

@@ -28,6 +28,14 @@ void ScheduleProblem::run_solo() {
   for (const auto& a : algorithms_) solo_.push_back(sim.run(*a));
 }
 
+void ScheduleProblem::adopt_solo(std::vector<SoloRunResult> solo) {
+  DASCHED_CHECK_MSG(solo_.empty(), "adopt_solo: solo results already present");
+  DASCHED_CHECK_EQ(solo.size(), algorithms_.size(),
+                   "adopt_solo: one solo result per algorithm, in order");
+  DASCHED_CHECK_MSG(!solo.empty(), "adopt_solo: empty result set");
+  solo_ = std::move(solo);
+}
+
 const std::vector<SoloRunResult>& ScheduleProblem::solo() const {
   DASCHED_CHECK_MSG(solo_done(), "call run_solo() first");
   return solo_;

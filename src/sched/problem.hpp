@@ -40,6 +40,16 @@ class ScheduleProblem {
 
   /// Runs every algorithm alone, recording outputs and patterns. Idempotent.
   void run_solo();
+
+  /// Adopts previously recorded solo results (one per added algorithm, in
+  /// order) instead of simulating them -- the service profile cache's path
+  /// for repeat jobs. After this, solo_done() is true and run_solo() is a
+  /// no-op. The results are *trusted here*: the static verifier's
+  /// profile-consistency check (verify/schedule_verifier.cpp) is the gate
+  /// that catches adopted profiles disagreeing with the declared algorithms
+  /// (a stale or poisoned cache entry), so route adopted problems through
+  /// check_schedule before executing them.
+  void adopt_solo(std::vector<SoloRunResult> solo);
   bool solo_done() const { return !solo_.empty(); }
   const std::vector<SoloRunResult>& solo() const;
 

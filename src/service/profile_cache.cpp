@@ -1,0 +1,43 @@
+#include "service/profile_cache.hpp"
+
+#include <utility>
+
+namespace dasched::service {
+
+const JobProfile* ProfileCache::find(const ProfileKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.last_use = ++clock_;
+  return &it->second.profile;
+}
+
+void ProfileCache::insert(const ProfileKey& key, JobProfile profile) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.profile = std::move(profile);
+    it->second.last_use = ++clock_;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    // Deterministic LRU: the logical clock strictly increases per access, so
+    // the minimum is unique and independent of platform or thread count.
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_use < victim->second.last_use) victim = cand;
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  entries_.emplace(key, Entry{std::move(profile), ++clock_});
+}
+
+void ProfileCache::erase(const ProfileKey& key) {
+  if (entries_.erase(key) > 0) ++stats_.invalidations;
+}
+
+}  // namespace dasched::service

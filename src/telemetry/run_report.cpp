@@ -59,6 +59,20 @@ void RunReport::add_finding_totals(std::uint64_t errors, std::uint64_t warnings,
   finding_infos_ += infos;
 }
 
+void RunReport::set_section_json(std::string_view name, std::string json) {
+  for (const char* reserved : {"schema", "meta", "tables", "series", "findings",
+                               "profile", "telemetry"}) {
+    DASCHED_CHECK_MSG(name != reserved, "set_section_json: reserved section name");
+  }
+  for (auto& [key, value] : sections_) {
+    if (key == name) {
+      value = std::move(json);
+      return;
+    }
+  }
+  sections_.emplace_back(std::string(name), std::move(json));
+}
+
 void RunReport::attach_metrics(const MetricsRegistry& metrics, bool include_samples) {
   telemetry_json_ = metrics.to_json(include_samples);
 }
@@ -153,6 +167,12 @@ void RunReport::write(std::ostream& os) const {
     w.key("profile");
     // Spliced verbatim: a complete JSON object from ExecProfiler::to_json().
     w.raw(profile_json_);
+  }
+
+  for (const auto& [name, json] : sections_) {
+    w.key(name);
+    // Spliced verbatim: the caller guaranteed one complete JSON value.
+    w.raw(json);
   }
 
   if (!telemetry_json_.empty()) {

@@ -92,10 +92,18 @@ class RunReport {
   /// telemetry section.
   void set_profile_json(std::string json) { profile_json_ = std::move(json); }
 
+  /// Embeds a pre-rendered top-level section under `name` (the caller
+  /// guarantees `json` is one complete JSON value -- e.g. the service
+  /// daemon's dasched.service.v1 object). Sections are written between the
+  /// profile and telemetry sections in insertion order; setting the same
+  /// name again replaces the previous value. `name` must not collide with a
+  /// fixed section (schema/meta/tables/series/findings/profile/telemetry).
+  void set_section_json(std::string_view name, std::string json);
+
   bool empty() const {
     return meta_.empty() && tables_.empty() && series_.empty() &&
            findings_.empty() && !have_finding_totals_ && telemetry_json_.empty() &&
-           profile_json_.empty();
+           profile_json_.empty() && sections_.empty();
   }
   std::size_t num_tables() const { return tables_.size(); }
   std::size_t num_series() const { return series_.size(); }
@@ -121,6 +129,9 @@ class RunReport {
   std::uint64_t finding_infos_ = 0;
   std::string telemetry_json_;  // pre-rendered snapshot, "" if none
   std::string profile_json_;    // pre-rendered ExecProfiler snapshot, "" if none
+  /// Named pre-rendered sections (insertion order preserved for byte-stable
+  /// reports).
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 }  // namespace dasched

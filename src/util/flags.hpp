@@ -9,6 +9,7 @@
 // failure behavior (benches return 2, CLIs print usage).
 #pragma once
 
+#include <cctype>
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -17,9 +18,12 @@
 namespace dasched {
 
 /// Parses a non-negative decimal integer into *out. Returns false on empty
-/// input, a sign, trailing characters, or overflow.
+/// input, a sign, leading whitespace, trailing characters, or overflow.
 inline bool parse_flag_u64(const char* s, std::uint64_t* out) {
-  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  // Require a leading digit: strtoull itself skips whitespace and accepts a
+  // sign (wrapping negatives into huge values), so " -3" would otherwise
+  // parse successfully.
+  if (s == nullptr || *s < '0' || *s > '9') return false;
   char* end = nullptr;
   errno = 0;
   const unsigned long long v = std::strtoull(s, &end, 10);
@@ -38,9 +42,13 @@ inline bool parse_flag_u32(const char* s, std::uint32_t* out) {
   return true;
 }
 
-/// Parses a finite decimal floating-point value into *out.
+/// Parses a finite decimal floating-point value into *out. Leading
+/// whitespace is rejected (strtod would silently skip it).
 inline bool parse_flag_double(const char* s, double* out) {
-  if (s == nullptr || *s == '\0') return false;
+  if (s == nullptr || *s == '\0' ||
+      std::isspace(static_cast<unsigned char>(*s)) != 0) {
+    return false;
+  }
   char* end = nullptr;
   errno = 0;
   const double v = std::strtod(s, &end);

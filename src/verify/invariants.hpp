@@ -8,7 +8,11 @@
 //
 //   code                 paper reference                what it proves
 //   ------------------   ----------------------------   ----------------------
-//   dimension-mismatch   Section 2 (DAS instance)       table matches k, n, T_i
+//   dimension-mismatch   Section 2 (DAS instance)       table matches k, n, T_i;
+//                                                       solo profiles match the
+//                                                       declared algorithms
+//                                                       (catches stale adopted
+//                                                       cache entries)
 //   gap                  Section 2 simulation mapping   scheduled rounds form a
 //                                                       gap-free prefix 1..p
 //   order                Section 2 simulation mapping   big-rounds strictly

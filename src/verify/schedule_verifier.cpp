@@ -66,6 +66,36 @@ Report check_schedule(const ScheduleProblem& problem, const ScheduleTable& sched
   }
   if (!dimensions_ok) return report;
 
+  // --- Solo-profile consistency: every remaining check (and
+  // problem.congestion() itself) indexes through the solo patterns, so a
+  // profile that disagrees with the declared algorithm geometry is terminal
+  // too. Solo results produced by run_solo() always agree; this catches
+  // *adopted* profiles (ScheduleProblem::adopt_solo) that went stale -- a
+  // poisoned service cache entry whose pattern belongs to a different
+  // program or graph -- before they can misdirect the message-level checks.
+  for (std::size_t a = 0; a < k; ++a) {
+    const auto& solo = problem.solo()[a];
+    std::ostringstream os;
+    if (solo.pattern.num_directed_edges() != g.num_directed_edges()) {
+      os << "solo pattern covers " << solo.pattern.num_directed_edges()
+         << " directed edges; the graph has " << g.num_directed_edges();
+    } else if (solo.pattern.last_message_round() > problem.algorithm(a).rounds()) {
+      os << "solo pattern sends in round " << solo.pattern.last_message_round()
+         << "; the algorithm declares " << problem.algorithm(a).rounds() << " rounds";
+    } else if (solo.outputs.size() != n) {
+      os << "solo outputs cover " << solo.outputs.size() << " nodes; the graph has "
+         << n;
+    } else {
+      continue;
+    }
+    os << " (stale adopted profile?)";
+    Location loc;
+    loc.alg = static_cast<std::int64_t>(a);
+    report.add({Severity::kError, kCodeDimensionMismatch, loc, format_msg(os), {}});
+    dimensions_ok = false;
+  }
+  if (!dimensions_ok) return report;
+
   report.measured.congestion = problem.congestion();
   report.measured.dilation = problem.dilation();
   report.measured.phase_len =

@@ -10,6 +10,9 @@ of throughput measurements extracted from the engineering bench reports:
        unprofiled vs profiled throughput and the overhead bound (E14.b)
   e15  bench_e15_scale_sweep      --report BENCH_e15.json
        serial throughput of the largest ladder rung the sweep ran (E15.a)
+  e16  bench_e16_service          --report BENCH_e16.json
+       serial service throughput at the highest arrival rate the ladder ran
+       (E16.a), plus jobs/s, latency percentiles and the cache hit rate
 
 Each entry records its bench id, the headline serial messages/s, and a
 machine key (platform + cpu count + build type), so entries are only ever
@@ -98,10 +101,11 @@ def cell(table, row_key, column, key_column=None):
 def detect_bench(report):
     """Bench id from the tables the report carries (title prefixes are the
     stable contract; meta.bench is a binary path and varies by build dir)."""
-    for bench_id, prefix in (("e13", "E13."), ("e14", "E14."), ("e15", "E15.")):
+    for bench_id, prefix in (("e13", "E13."), ("e14", "E14."), ("e15", "E15."),
+                             ("e16", "E16.")):
         if find_table(report, prefix, required=False) is not None:
             return bench_id
-    raise SystemExit("report carries no recognized E13/E14/E15 table")
+    raise SystemExit("report carries no recognized E13/E14/E15/E16 table")
 
 
 # --- Per-bench extraction: one trajectory entry from one report. Every
@@ -148,7 +152,28 @@ def extract_e15(report, label):
     }
 
 
-EXTRACTORS = {"e13": extract_e13, "e14": extract_e14, "e15": extract_e15}
+def extract_e16(report, label):
+    ladder = find_table(report, "E16.a")
+    cols = ladder["columns"]
+    if not ladder["rows"]:
+        raise SystemExit("E16.a ladder is empty")
+    # The headline rung is the highest arrival rate the ladder ran (rows are
+    # emitted in ascending rate; --max-rate trims from the top).
+    top = max(ladder["rows"], key=lambda r: float(r[cols.index("rate")]))
+    return {
+        "bench": "e16",
+        "messages_per_sec_serial": float(top[cols.index("messages/s")]),
+        "arrival_rate": float(top[cols.index("rate")]),
+        "jobs_per_sec": float(top[cols.index("jobs/s")]),
+        "jobs_completed": int(top[cols.index("completed")]),
+        "latency_p50_ticks": int(top[cols.index("p50")]),
+        "latency_p99_ticks": int(top[cols.index("p99")]),
+        "cache_hit_rate": float(top[cols.index("hit rate")]),
+    }
+
+
+EXTRACTORS = {"e13": extract_e13, "e14": extract_e14, "e15": extract_e15,
+              "e16": extract_e16}
 
 
 def extract_entry(report, label):
@@ -220,7 +245,31 @@ def verdicts_e15(report):
     return failures
 
 
-VERDICTS = {"e13": verdicts_e13, "e14": verdicts_e14, "e15": verdicts_e15}
+def verdicts_e16(report):
+    failures = []
+    ladder = find_table(report, "E16.a")
+    cols = ladder["columns"]
+    total_hits = 0
+    for row in ladder["rows"]:
+        rate = row[cols.index("rate")]
+        if row[cols.index("verified")] != "yes":
+            failures.append(
+                f"E16.a: rate={rate} admitted jobs did not all verify and "
+                "complete")
+        if row[cols.index("identical")] != "yes":
+            failures.append(
+                f"E16.a: rate={rate} threaded service trajectories diverged "
+                "from serial")
+        total_hits += int(row[cols.index("cache hits")])
+    # Repeat tenants must actually exercise the profile cache; an all-miss
+    # ladder means the cache key or lookup broke.
+    if ladder["rows"] and total_hits == 0:
+        failures.append("E16.a: profile cache never hit across the ladder")
+    return failures
+
+
+VERDICTS = {"e13": verdicts_e13, "e14": verdicts_e14, "e15": verdicts_e15,
+            "e16": verdicts_e16}
 
 
 def check_verdicts(report):
@@ -388,6 +437,30 @@ def synthetic_e15(serial_mps, identical="yes", top_n=1_000_000):
     }
 
 
+def synthetic_e16(serial_mps, verified="yes", identical="yes", cache_hits=40):
+    return {
+        "schema": "dasched.run_report.v1",
+        "meta": {"build_type": "Release"},
+        "tables": [
+            {
+                "title": "E16.a -- service arrival ladder",
+                "columns": ["rate", "jobs", "admitted", "completed", "rejected",
+                            "deferrals", "cache hits", "hit rate", "p50", "p99",
+                            "serial ms", "jobs/s", "messages/s", "verified",
+                            "identical"],
+                "rows": [
+                    ["0.50", "48", "48", "48", "0", "0", f"{cache_hits // 2}",
+                     "0.750", "5", "9", "120.0", "400.0",
+                     f"{serial_mps * 0.8:.0f}", "yes", "yes"],
+                    ["2.00", "190", "190", "190", "0", "3", f"{cache_hits}",
+                     "0.950", "5", "9", "400.0", "475.0", f"{serial_mps:.0f}",
+                     verified, identical],
+                ],
+            },
+        ],
+    }
+
+
 def self_test():
     me = machine_key(synthetic_e14(1.0, 0.0))
     elsewhere = {"platform": "Plan9-mips", "cpu_count": 1, "build": "Release"}
@@ -411,6 +484,11 @@ def self_test():
                 "bench": "e15", "messages_per_sec_serial": 500_000.0,
                 "ladder_top_n": 1_000_000,
             },
+            {
+                "label": "seed", "date": "2026-01-01", "machine": me,
+                "bench": "e16", "messages_per_sec_serial": 100_000.0,
+                "arrival_rate": 2.0,
+            },
         ],
     }
 
@@ -418,6 +496,7 @@ def self_test():
     assert detect_bench(synthetic_e13(1.0)) == "e13"
     assert detect_bench(synthetic_e14(1.0, 0.0)) == "e14"
     assert detect_bench(synthetic_e15(1.0)) == "e15"
+    assert detect_bench(synthetic_e16(1.0)) == "e16"
 
     # e14: unchanged behavior against a legacy-field baseline.
     assert check(synthetic_e14(990_000, 5.0), baseline, 0.10) == []
@@ -449,6 +528,20 @@ def self_test():
     assert any("E15.a" in f for f in fails), fails
     entry = extract_entry(synthetic_e15(480_000), "x")
     assert entry["ladder_top_n"] == 1_000_000, entry
+
+    # e16: headline metric is the highest-rate rung; verification, identity,
+    # and a live cache all gate.
+    assert check(synthetic_e16(95_000), baseline, 0.10) == []
+    fails = check(synthetic_e16(80_000), baseline, 0.10)
+    assert any("e16: throughput regression" in f for f in fails), fails
+    fails = check(synthetic_e16(95_000, verified="NO"), baseline, 0.10)
+    assert any("verify" in f for f in fails), fails
+    fails = check(synthetic_e16(95_000, identical="NO"), baseline, 0.10)
+    assert any("diverged" in f for f in fails), fails
+    fails = check(synthetic_e16(95_000, cache_hits=0), baseline, 0.10)
+    assert any("cache never hit" in f for f in fails), fails
+    entry = extract_entry(synthetic_e16(95_000), "x")
+    assert entry["arrival_rate"] == 2.0 and entry["jobs_per_sec"] == 475.0, entry
 
     # A foreign machine key skips the throughput comparison but keeps verdicts.
     foreign = {"schema": SCHEMA, "entries": [dict(baseline["entries"][0],
