@@ -28,6 +28,9 @@ class BfsAlgorithm final : public DistributedAlgorithm {
   std::string name() const override { return "bfs"; }
   std::uint32_t rounds() const override { return max_hops_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+  StaticFootprint static_footprint() const override {
+    return StaticFootprint::flood(source_, StaticFootprint::Outputs::kBfs);
+  }
 
   NodeId source() const { return source_; }
 

@@ -28,6 +28,9 @@ class BroadcastAlgorithm final : public DistributedAlgorithm {
   std::string name() const override { return "broadcast"; }
   std::uint32_t rounds() const override { return max_hops_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+  StaticFootprint static_footprint() const override {
+    return StaticFootprint::flood(source_, StaticFootprint::Outputs::kBroadcast, value_);
+  }
 
   NodeId source() const { return source_; }
   std::uint64_t value() const { return value_; }

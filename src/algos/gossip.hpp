@@ -33,6 +33,11 @@ class GossipAlgorithm final : public DistributedAlgorithm {
   std::string name() const override { return "push-gossip"; }
   std::uint32_t rounds() const override { return rounds_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+  /// Exact despite the coin flips: per-node randomness is fixed at start from
+  /// (base seed, node), so the analyzer replays the pushes centrally.
+  StaticFootprint static_footprint() const override {
+    return StaticFootprint::gossip_push(source_, rumor_);
+  }
 
   /// Output layout: {informed (0/1), rumor, round informed (~0 if never)}.
   static constexpr std::size_t kOutInformed = 0;

@@ -43,6 +43,13 @@ class LubyMisAlgorithm final : public DistributedAlgorithm {
   std::string name() const override { return "luby-mis"; }
   std::uint32_t rounds() const override { return 2 * phases_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+  /// Sound upper-bound envelope: a directed edge carries at most one priority
+  /// announcement per phase (only undecided nodes send in round A) and at
+  /// most one join announcement ever (a node joins once, then is silent), so
+  /// its total load is <= phases + 1.
+  StaticFootprint static_footprint() const override {
+    return StaticFootprint::envelope(phases_ + 1);
+  }
 
   std::uint32_t phases() const { return phases_; }
 

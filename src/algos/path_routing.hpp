@@ -30,6 +30,9 @@ class PathRoutingAlgorithm final : public DistributedAlgorithm {
     return static_cast<std::uint32_t>(path_.size()) - 1;
   }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
+  StaticFootprint static_footprint() const override {
+    return StaticFootprint::fixed_path(path_, packet_value_);
+  }
 
   const std::vector<NodeId>& path() const { return path_; }
 

@@ -24,6 +24,7 @@
 #include <span>
 #include <string>
 
+#include "congest/footprint.hpp"
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -103,6 +104,15 @@ class DistributedAlgorithm {
   /// Rng(seed_combine(base_seed(), v)), making solo and scheduled executions
   /// byte-identical.
   std::uint64_t base_seed() const { return base_seed_; }
+
+  /// Declarative footprint for the static pattern analyzer (src/analysis):
+  /// what this algorithm's communication pattern looks like as a function of
+  /// the graph, without executing it. The default is opaque -- the analyzer
+  /// then assumes the CONGEST worst case (one message per directed edge per
+  /// round for rounds() rounds). Override with an exact shape when the
+  /// pattern is a pure function of (graph, parameters, base seed), or with a
+  /// sound envelope for randomized algorithms. See congest/footprint.hpp.
+  virtual StaticFootprint static_footprint() const { return StaticFootprint::opaque(); }
 
  protected:
   explicit DistributedAlgorithm(std::uint64_t base_seed) : base_seed_(base_seed) {}

@@ -58,6 +58,33 @@ std::uint32_t ScheduleProblem::congestion() const {
   return congestion;
 }
 
+std::vector<analysis::PatternCertificate> ScheduleProblem::analyze_static() const {
+  std::vector<analysis::PatternCertificate> certs;
+  certs.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) certs.push_back(analysis::analyze(*graph_, *a));
+  return certs;
+}
+
+std::uint32_t ScheduleProblem::certified_congestion_bound() const {
+  // Sum per-edge loads where certificates carry the exact surface, and add
+  // each non-exact certificate's per-edge bound uniformly -- the sum of sound
+  // per-edge bounds dominates every realizable combined load.
+  std::vector<std::uint64_t> loads(graph_->num_directed_edges(), 0);
+  std::uint64_t envelope = 0;
+  for (const auto& cert : analyze_static()) {
+    if (cert.exact()) {
+      for (std::uint32_t d = 0; d < loads.size(); ++d) loads[d] += cert.pattern.edge_load(d);
+    } else {
+      envelope += cert.per_edge_bound;
+    }
+  }
+  std::uint64_t bound = 0;
+  for (const auto load : loads) bound = std::max(bound, load);
+  bound += envelope;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(bound, ~std::uint32_t{0}));
+}
+
 std::uint32_t ScheduleProblem::trivial_lower_bound() const {
   return std::max(congestion(), dilation());
 }

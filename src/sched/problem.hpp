@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "congest/executor.hpp"
 #include "congest/simulator.hpp"
 #include "graph/graph.hpp"
@@ -58,6 +59,16 @@ class ScheduleProblem {
 
   /// max_e sum_i c_i(e) over directed edges. Requires run_solo().
   std::uint32_t congestion() const;
+
+  /// Static certificates for every algorithm (analysis/analyzer.hpp), derived
+  /// from the declared footprints alone -- no solo runs, nothing executed.
+  std::vector<analysis::PatternCertificate> analyze_static() const;
+
+  /// Sound upper bound on congestion() from the static certificates: exact
+  /// when every algorithm's footprint is exact, conservative otherwise.
+  /// Available without run_solo() -- this is what discharges the paper's
+  /// "known congestion/dilation" assumption for budget derivation.
+  std::uint32_t certified_congestion_bound() const;
 
   /// The trivial lower bound max(congestion, dilation) >= (c+d)/2.
   std::uint32_t trivial_lower_bound() const;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "congest/simulator.hpp"
 #include "sched/problem.hpp"
 #include "telemetry/json.hpp"
@@ -91,13 +92,40 @@ SchedulerDaemon::Admitted SchedulerDaemon::acquire_profile(Pending pending) {
       cache_.erase(adm.key);
     }
   }
+  const auto profile_start = std::chrono::steady_clock::now();
   auto algorithm = make_algorithm(pending.request.spec);
-  const SoloRunResult solo =
-      Simulator(graph_, cfg_.max_payload_words, cfg_.telemetry).run(*algorithm);
+
+  // Static admission: derive the solo ground truth from the algorithm's
+  // pattern certificate instead of executing it. All JobSpec kinds declare
+  // exact footprints today, but the executed path stays as the fallback for
+  // future kinds with envelope/opaque footprints.
+  SoloRunResult solo;
+  bool from_static = false;
+  if (cfg_.static_admission) {
+    analysis::PatternCertificate cert = analysis::analyze(graph_, *algorithm);
+    if (cert.exact() && cert.has_outputs) {
+      solo = cert.to_solo();
+      from_static = true;
+    }
+  }
+  if (!from_static) {
+    solo = Simulator(graph_, cfg_.max_payload_words, cfg_.telemetry).run(*algorithm);
+  }
+  if (from_static) {
+    ++stats_.profiles_static;
+    count("service.profiles_static");
+  } else {
+    ++stats_.profiles_executed;
+    count("service.profiles_executed");
+  }
+  stats_.profile_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - profile_start)
+          .count();
+
   adm.profile.rounds = algorithm->rounds();
   adm.profile.max_edge_load = solo.pattern.max_edge_load();
   adm.profile.total_messages = solo.total_messages;
-  adm.profile.solo = solo;
+  adm.profile.solo = std::move(solo);
   cache_.insert(adm.key, adm.profile);
   adm.cache_hit = false;
   adm.pending = std::move(pending);
@@ -459,6 +487,13 @@ std::string ServiceResult::to_json(bool include_timing) const {
   w.key("queue");
   w.begin_object();
   w.kv("peak_depth", static_cast<double>(stats.peak_queue_depth));
+  w.end_object();
+
+  w.key("profiling");
+  w.begin_object();
+  w.kv("static", static_cast<double>(stats.profiles_static));
+  w.kv("executed", static_cast<double>(stats.profiles_executed));
+  if (include_timing) w.kv("profile_seconds", stats.profile_seconds);
   w.end_object();
 
   w.key("cache");

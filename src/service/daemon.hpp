@@ -90,6 +90,15 @@ struct ServiceConfig {
   std::uint32_t num_threads = 0;
   std::size_t tile_bytes = kDefaultTileBytes;
   std::uint32_t max_payload_words = kDefaultMaxPayloadWords;
+  /// Profile cache-miss jobs from the static pattern analyzer (src/analysis)
+  /// when their footprint yields an exact certificate with outputs, instead
+  /// of solo-executing them -- near-free cold-start admission. The verifier
+  /// gate still checks every composed schedule and execution still compares
+  /// against the (now derived) solo outputs, so a wrong certificate is caught
+  /// exactly like a poisoned cache entry. Never affects results: certificates
+  /// are cell-for-cell equal to solo runs (tests/test_analysis.cpp), so
+  /// fingerprints match the executed-profiling path bit for bit.
+  bool static_admission = true;
   /// Optional sink (borrowed). Emits service.* counters (arrivals, admits,
   /// rejections by code, deferrals, cache traffic, gate runs) plus the
   /// executor's and verifier's own instrumentation.
@@ -128,10 +137,17 @@ struct ServiceStats {
   std::uint64_t total_messages = 0;
   std::uint64_t peak_queue_depth = 0;
   std::uint64_t ticks = 0;
+  /// Cache-miss profiles synthesized from static certificates (no execution)
+  /// vs solo-executed. static + executed == cache misses served.
+  std::uint64_t profiles_static = 0;
+  std::uint64_t profiles_executed = 0;
   CacheStats cache;
-  /// Wall-clock time inside serve(). The only nondeterministic field:
-  /// excluded from the fingerprint and from to_json(false).
+  /// Wall-clock time inside serve(). Nondeterministic: excluded from the
+  /// fingerprint and from to_json(false).
   double wall_seconds = 0.0;
+  /// Wall-clock time spent acquiring cache-miss profiles (the cold-start
+  /// admission cost bench E17 measures). Nondeterministic, like wall_seconds.
+  double profile_seconds = 0.0;
 
   std::uint64_t rejected() const {
     return rejected_queue_full + rejected_congestion + rejected_verify;

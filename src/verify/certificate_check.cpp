@@ -1,0 +1,160 @@
+#include "verify/certificate_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dasched::verify {
+
+namespace {
+
+Location at(std::int64_t alg_index) {
+  Location loc;
+  loc.alg = alg_index;
+  return loc;
+}
+
+/// Per-round cell loads of `pattern`, as (directed edge -> count) over the
+/// scratch vector; `touched` lists the nonzero entries for cheap reset.
+void round_loads(const CommunicationPattern& pattern, std::uint32_t round,
+                 std::vector<std::uint32_t>& loads, std::vector<std::uint32_t>& touched) {
+  for (const std::uint32_t d : pattern.edges_in_round(round)) {
+    if (loads[d]++ == 0) touched.push_back(d);
+  }
+}
+
+}  // namespace
+
+bool check_certificate(const analysis::PatternCertificate& cert, const SoloRunResult& solo,
+                       Report& report, std::int64_t alg_index) {
+  const std::uint64_t errors_before = report.errors();
+  const std::uint32_t num_directed = solo.pattern.num_directed_edges();
+
+  // --- Dimensions: everything below indexes through these. ---
+  bool dims_ok = true;
+  if (cert.exact() && cert.pattern.num_directed_edges() != num_directed) {
+    std::ostringstream os;
+    os << "certificate surface covers " << cert.pattern.num_directed_edges()
+       << " directed edges; the executed pattern has " << num_directed;
+    report.add({Severity::kError, kCodeCertificateDims, at(alg_index), os.str(), {}});
+    dims_ok = false;
+  }
+  if (cert.has_outputs && cert.outputs.size() != solo.outputs.size()) {
+    std::ostringstream os;
+    os << "certificate outputs cover " << cert.outputs.size() << " nodes; the executed run has "
+       << solo.outputs.size();
+    report.add({Severity::kError, kCodeCertificateDims, at(alg_index), os.str(), {}});
+    dims_ok = false;
+  }
+  if (cert.last_message_round > cert.rounds) {
+    std::ostringstream os;
+    os << "certificate sends in round " << cert.last_message_round
+       << "; the algorithm declares " << cert.rounds << " rounds";
+    report.add({Severity::kError, kCodeCertificateDims, at(alg_index), os.str(), {}});
+    dims_ok = false;
+  }
+  if (!dims_ok) return false;
+
+  std::uint64_t cells_compared = 0;
+  std::vector<std::uint32_t> cert_loads(num_directed, 0);
+  std::vector<std::uint32_t> solo_loads(num_directed, 0);
+  std::vector<std::uint32_t> touched;
+
+  if (cert.exact()) {
+    // Cell-for-cell equality over the union of rounds either side touches.
+    const std::uint32_t last =
+        std::max(cert.pattern.last_message_round(), solo.pattern.last_message_round());
+    for (std::uint32_t r = 1; r <= last; ++r) {
+      touched.clear();
+      round_loads(cert.pattern, r, cert_loads, touched);
+      round_loads(solo.pattern, r, solo_loads, touched);
+      for (const std::uint32_t d : touched) {
+        ++cells_compared;
+        if (cert_loads[d] != solo_loads[d]) {
+          std::ostringstream os;
+          os << "certified load " << cert_loads[d] << " != executed load " << solo_loads[d];
+          Location loc = at(alg_index);
+          loc.vround = r;
+          loc.edge = d;
+          report.add({Severity::kError, kCodeCertificateCellMismatch, loc, os.str(),
+                      {{"certified", static_cast<double>(cert_loads[d])},
+                       {"executed", static_cast<double>(solo_loads[d])}}});
+        }
+        cert_loads[d] = 0;
+        solo_loads[d] = 0;
+      }
+    }
+    if (cert.has_outputs) {
+      for (NodeId v = 0; v < solo.outputs.size(); ++v) {
+        if (cert.outputs[v] == solo.outputs[v]) continue;
+        std::ostringstream os;
+        os << "derived output (" << cert.outputs[v].size() << " words) != executed output ("
+           << solo.outputs[v].size() << " words)";
+        Location loc = at(alg_index);
+        loc.node = static_cast<std::int64_t>(v);
+        report.add({Severity::kError, kCodeCertificateOutputMismatch, loc, os.str(), {}});
+      }
+    }
+  } else {
+    // Sound bounds: the executed run must stay inside the envelope.
+    const auto bound_violation = [&](const char* what, std::uint64_t executed,
+                                     std::uint64_t certified, Location loc) {
+      std::ostringstream os;
+      os << what << " " << executed << " exceeds certified bound " << certified;
+      report.add({Severity::kError, kCodeCertificateBoundViolation, loc, os.str(),
+                  {{"executed", static_cast<double>(executed)},
+                   {"certified", static_cast<double>(certified)}}});
+    };
+    if (solo.pattern.last_message_round() > cert.last_message_round) {
+      bound_violation("last message round", solo.pattern.last_message_round(),
+                      cert.last_message_round, at(alg_index));
+    }
+    if (solo.total_messages > cert.total_messages) {
+      bound_violation("total messages", solo.total_messages, cert.total_messages,
+                      at(alg_index));
+    }
+    for (std::uint32_t d = 0; d < num_directed; ++d) {
+      ++cells_compared;
+      if (solo.pattern.edge_load(d) > cert.per_edge_bound) {
+        Location loc = at(alg_index);
+        loc.edge = d;
+        bound_violation("per-edge load", solo.pattern.edge_load(d), cert.per_edge_bound, loc);
+      }
+    }
+    for (std::uint32_t r = 1; r <= solo.pattern.last_message_round(); ++r) {
+      touched.clear();
+      round_loads(solo.pattern, r, solo_loads, touched);
+      for (const std::uint32_t d : touched) {
+        ++cells_compared;
+        if (solo_loads[d] > cert.per_cell_bound) {
+          Location loc = at(alg_index);
+          loc.vround = r;
+          loc.edge = d;
+          bound_violation("cell load", solo_loads[d], cert.per_cell_bound, loc);
+        }
+        solo_loads[d] = 0;
+      }
+    }
+  }
+
+  {
+    std::ostringstream os;
+    os << to_string(cert.kind) << " certificate for " << cert.algorithm << ": "
+       << cells_compared << " cells checked, " << solo.total_messages
+       << " executed messages vs " << cert.total_messages << " certified";
+    report.add({Severity::kInfo, kCodeCertificateSummary, at(alg_index), os.str(),
+                {{"cells_compared", static_cast<double>(cells_compared)},
+                 {"certified_congestion", static_cast<double>(cert.congestion)},
+                 {"executed_congestion", static_cast<double>(solo.pattern.max_edge_load())}}});
+  }
+  return report.errors() == errors_before;
+}
+
+Report check_certificate(const analysis::PatternCertificate& cert, const SoloRunResult& solo,
+                         const VerifyOptions& opts) {
+  Report report;
+  report.max_findings_per_code = opts.max_findings_per_code;
+  check_certificate(cert, solo, report, -1);
+  return report;
+}
+
+}  // namespace dasched::verify

@@ -91,6 +91,24 @@ inline constexpr const char* kCodeLengthBudget = "length-budget";
 inline constexpr const char* kCodeTruncation = "truncation";
 inline constexpr const char* kCodeMeasured = "measured-constants";
 
+// Certificate cross-check codes (verify/certificate_check.hpp): the static
+// pattern analyzer's certificate joined against a solo-executed pattern.
+//   certificate.dims             pattern/output dimensions disagree with the
+//                                graph or the declared rounds
+//   certificate.cell-mismatch    exact certificate: a (round, directed edge)
+//                                cell's load differs from the executed one
+//   certificate.output-mismatch  exact certificate: a node's derived output
+//                                differs from the executed one
+//   certificate.bound-violation  envelope/fallback certificate: an executed
+//                                quantity exceeds the certified bound
+//   certificate.summary          (info) totals: cells compared, messages,
+//                                certificate kind
+inline constexpr const char* kCodeCertificateDims = "certificate.dims";
+inline constexpr const char* kCodeCertificateCellMismatch = "certificate.cell-mismatch";
+inline constexpr const char* kCodeCertificateOutputMismatch = "certificate.output-mismatch";
+inline constexpr const char* kCodeCertificateBoundViolation = "certificate.bound-violation";
+inline constexpr const char* kCodeCertificateSummary = "certificate.summary";
+
 // Divergence-monitor codes (verify/divergence.hpp).
 inline constexpr const char* kCodeDivergenceLoad = "divergence.load";
 inline constexpr const char* kCodeDivergenceUnpredicted = "divergence.unpredicted";

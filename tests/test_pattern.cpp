@@ -44,6 +44,49 @@ TEST(Pattern, CombinedCongestionSumsPerEdge) {
   EXPECT_EQ(loads[0], 0u);
 }
 
+TEST(Pattern, EmptyPatternHasZeroEverything) {
+  // A node program that never sends (or a zero-round algorithm) still has a
+  // well-formed footprint: all queries return the additive identities.
+  const CommunicationPattern p(5);
+  EXPECT_EQ(p.last_message_round(), 0u);
+  EXPECT_EQ(p.total_messages(), 0u);
+  EXPECT_EQ(p.max_edge_load(), 0u);
+  for (std::uint32_t d = 0; d < 5; ++d) EXPECT_EQ(p.edge_load(d), 0u);
+  EXPECT_TRUE(p.edges_in_round(1).empty());
+  EXPECT_TRUE(p.edges_in_round(100).empty());
+}
+
+TEST(Pattern, QueriesPastTheLastMessageRoundAreEmptyNotFatal) {
+  CommunicationPattern p(3);
+  p.record(2, 1);
+  EXPECT_EQ(p.last_message_round(), 2u);
+  // Certificate cross-checks iterate the union of both sides' rounds, so
+  // reads far past last_message_round must be cheap no-ops.
+  EXPECT_TRUE(p.edges_in_round(3).empty());
+  EXPECT_TRUE(p.edges_in_round(1u << 20).empty());
+  EXPECT_EQ(p.total_messages(), 1u);
+}
+
+TEST(Pattern, SingleEdgeGraphFootprint) {
+  // The smallest nontrivial topology: one undirected edge, two directed ids.
+  const Graph g = make_path(2);
+  ASSERT_EQ(g.num_directed_edges(), 2u);
+  CommunicationPattern p(g.num_directed_edges());
+  p.record(1, 0);
+  p.record(1, 1);
+  p.record(2, 0);
+  EXPECT_EQ(p.max_edge_load(), 2u);
+  EXPECT_EQ(p.total_messages(), 3u);
+  ASSERT_EQ(p.edges_in_round(1).size(), 2u);
+  const CommunicationPattern patterns[] = {p};
+  EXPECT_EQ(combined_congestion(patterns), 2u);
+}
+
+TEST(Pattern, CombinedCongestionOfNothingIsZero) {
+  EXPECT_EQ(combined_congestion({}), 0u);
+  EXPECT_TRUE(combined_edge_load({}).empty());
+}
+
 TEST(Pattern, BfsPatternIsUnknowableButRecordable) {
   // The paper's Section 2 point: BFS's pattern depends on distances -- we can
   // only know it after running. Verify the recorded footprint matches the

@@ -424,6 +424,61 @@ TEST(Daemon, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Daemon, StaticAdmissionProfilesEveryMissWithoutExecution) {
+  // Every stream spec (broadcast/bfs/aggregate) carries an exact footprint,
+  // so with static admission on, no cache miss ever solo-executes.
+  const Graph g = test_graph();
+  const auto stream =
+      service::generate_job_stream(stream_config(1.0, 9, 3, 32), g.num_nodes());
+  SchedulerDaemon daemon(g, {});  // static_admission defaults to true
+  const ServiceResult result = daemon.serve(stream);
+  EXPECT_GT(result.stats.profiles_static, 0u);
+  EXPECT_EQ(result.stats.profiles_executed, 0u);
+  EXPECT_EQ(result.stats.profiles_static, result.stats.cache.misses);
+  EXPECT_EQ(result.stats.admitted, result.stats.completed);
+}
+
+TEST(Daemon, StaticAdmissionOffExecutesEveryMiss) {
+  const Graph g = test_graph();
+  const auto stream =
+      service::generate_job_stream(stream_config(1.0, 9, 3, 32), g.num_nodes());
+  ServiceConfig cfg;
+  cfg.static_admission = false;
+  SchedulerDaemon daemon(g, cfg);
+  const ServiceResult result = daemon.serve(stream);
+  EXPECT_EQ(result.stats.profiles_static, 0u);
+  EXPECT_GT(result.stats.profiles_executed, 0u);
+  EXPECT_EQ(result.stats.profiles_executed, result.stats.cache.misses);
+}
+
+TEST(Daemon, StaticAdmissionIsBitIdenticalToExecutedProfiling) {
+  // Certificates are cell-for-cell equal to solo runs, so how a profile was
+  // produced must be invisible: outcomes, stats, and fingerprints agree.
+  const Graph g = test_graph(100, 5);
+  const auto stream =
+      service::generate_job_stream(stream_config(1.0, 11, 3, 32), g.num_nodes());
+  ServiceResult results[2];
+  for (const bool static_admission : {true, false}) {
+    ServiceConfig cfg;
+    cfg.static_admission = static_admission;
+    SchedulerDaemon daemon(g, cfg);
+    results[static_admission ? 0 : 1] = daemon.serve(stream);
+  }
+  EXPECT_EQ(results[0].fingerprint, results[1].fingerprint);
+  // The profiling split (static vs executed) is the one stat that legitimately
+  // differs between the modes; everything the jobs can observe is identical.
+  EXPECT_EQ(results[0].stats.completed, results[1].stats.completed);
+  EXPECT_EQ(results[0].stats.deferrals, results[1].stats.deferrals);
+  EXPECT_EQ(results[0].stats.total_messages, results[1].stats.total_messages);
+  EXPECT_EQ(results[0].latency_p99, results[1].latency_p99);
+  ASSERT_EQ(results[0].outcomes.size(), results[1].outcomes.size());
+  for (std::size_t i = 0; i < results[0].outcomes.size(); ++i) {
+    EXPECT_EQ(results[0].outcomes[i].completed, results[1].outcomes[i].completed);
+    EXPECT_EQ(results[0].outcomes[i].delay, results[1].outcomes[i].delay);
+    EXPECT_EQ(results[0].outcomes[i].finish_tick, results[1].outcomes[i].finish_tick);
+  }
+}
+
 TEST(Daemon, CacheKeysAreStableAcrossServesAndSeeds) {
   // The same spec pool served under different delay seeds must rebuild
   // nothing: a second daemon on the same graph re-profiles at most the

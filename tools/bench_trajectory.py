@@ -13,6 +13,10 @@ of throughput measurements extracted from the engineering bench reports:
   e16  bench_e16_service          --report BENCH_e16.json
        serial service throughput at the highest arrival rate the ladder ran
        (E16.a), plus jobs/s, latency percentiles and the cache hit rate
+  e17  bench_e17_static_admission --report BENCH_e17.json
+       serial jobs/s under static admission at the highest arrival rate the
+       ladder ran (E17.a), plus the executed-mode jobs/s and the cold-start
+       profiling speedup (certificates vs solo execution)
 
 Each entry records its bench id, the headline serial messages/s, and a
 machine key (platform + cpu count + build type), so entries are only ever
@@ -102,10 +106,10 @@ def detect_bench(report):
     """Bench id from the tables the report carries (title prefixes are the
     stable contract; meta.bench is a binary path and varies by build dir)."""
     for bench_id, prefix in (("e13", "E13."), ("e14", "E14."), ("e15", "E15."),
-                             ("e16", "E16.")):
+                             ("e16", "E16."), ("e17", "E17.")):
         if find_table(report, prefix, required=False) is not None:
             return bench_id
-    raise SystemExit("report carries no recognized E13/E14/E15/E16 table")
+    raise SystemExit("report carries no recognized E13/E14/E15/E16/E17 table")
 
 
 # --- Per-bench extraction: one trajectory entry from one report. Every
@@ -172,8 +176,28 @@ def extract_e16(report, label):
     }
 
 
+def extract_e17(report, label):
+    ladder = find_table(report, "E17.a")
+    cols = ladder["columns"]
+    if not ladder["rows"]:
+        raise SystemExit("E17.a ladder is empty")
+    # The headline rung is the highest arrival rate the ladder ran. E17 has no
+    # messages/s column: the comparison metric for this series is end-to-end
+    # jobs/s under static admission (the mode the service defaults to).
+    top = max(ladder["rows"], key=lambda r: float(r[cols.index("rate")]))
+    return {
+        "bench": "e17",
+        "messages_per_sec_serial": float(top[cols.index("jobs/s (st)")]),
+        "arrival_rate": float(top[cols.index("rate")]),
+        "jobs_per_sec_static": float(top[cols.index("jobs/s (st)")]),
+        "jobs_per_sec_executed": float(top[cols.index("jobs/s (ex)")]),
+        "profile_speedup": float(top[cols.index("speedup")]),
+        "static_profiles": int(top[cols.index("static")]),
+    }
+
+
 EXTRACTORS = {"e13": extract_e13, "e14": extract_e14, "e15": extract_e15,
-              "e16": extract_e16}
+              "e16": extract_e16, "e17": extract_e17}
 
 
 def extract_entry(report, label):
@@ -268,8 +292,25 @@ def verdicts_e16(report):
     return failures
 
 
+def verdicts_e17(report):
+    failures = []
+    ladder = find_table(report, "E17.a")
+    cols = ladder["columns"]
+    for row in ladder["rows"]:
+        rate = row[cols.index("rate")]
+        if row[cols.index("identical")] != "yes":
+            failures.append(
+                f"E17.a: rate={rate} static-admission trajectory diverged or "
+                "fell back to execution")
+        if int(row[cols.index("static")]) != int(row[cols.index("misses")]):
+            failures.append(
+                f"E17.a: rate={rate} static admission did not cover every "
+                "cache miss")
+    return failures
+
+
 VERDICTS = {"e13": verdicts_e13, "e14": verdicts_e14, "e15": verdicts_e15,
-            "e16": verdicts_e16}
+            "e16": verdicts_e16, "e17": verdicts_e17}
 
 
 def check_verdicts(report):
@@ -461,6 +502,31 @@ def synthetic_e16(serial_mps, verified="yes", identical="yes", cache_hits=40):
     }
 
 
+def synthetic_e17(jobs_per_sec_static, identical="yes", static_covers=True):
+    misses = 8
+    return {
+        "schema": "dasched.run_report.v1",
+        "meta": {"build_type": "Release"},
+        "tables": [
+            {
+                "title": "E17.a -- cold-start profiling, static vs executed",
+                "columns": ["rate", "jobs", "misses", "static", "executed",
+                            "profile ms (st)", "profile ms (ex)", "speedup",
+                            "jobs/s (st)", "jobs/s (ex)", "identical"],
+                "rows": [
+                    ["0.50", "48", f"{misses}", f"{misses}", f"{misses}",
+                     "0.40", "1.20", "3.0", f"{jobs_per_sec_static * 0.9:.1f}",
+                     f"{jobs_per_sec_static * 0.8:.1f}", "yes"],
+                    ["2.00", "190", f"{misses}",
+                     f"{misses if static_covers else misses - 2}", f"{misses}",
+                     "0.40", "1.20", "3.0", f"{jobs_per_sec_static:.1f}",
+                     f"{jobs_per_sec_static * 0.85:.1f}", identical],
+                ],
+            },
+        ],
+    }
+
+
 def self_test():
     me = machine_key(synthetic_e14(1.0, 0.0))
     elsewhere = {"platform": "Plan9-mips", "cpu_count": 1, "build": "Release"}
@@ -489,6 +555,11 @@ def self_test():
                 "bench": "e16", "messages_per_sec_serial": 100_000.0,
                 "arrival_rate": 2.0,
             },
+            {
+                "label": "seed", "date": "2026-01-01", "machine": me,
+                "bench": "e17", "messages_per_sec_serial": 400.0,
+                "arrival_rate": 2.0, "profile_speedup": 3.0,
+            },
         ],
     }
 
@@ -497,6 +568,7 @@ def self_test():
     assert detect_bench(synthetic_e14(1.0, 0.0)) == "e14"
     assert detect_bench(synthetic_e15(1.0)) == "e15"
     assert detect_bench(synthetic_e16(1.0)) == "e16"
+    assert detect_bench(synthetic_e17(1.0)) == "e17"
 
     # e14: unchanged behavior against a legacy-field baseline.
     assert check(synthetic_e14(990_000, 5.0), baseline, 0.10) == []
@@ -542,6 +614,18 @@ def self_test():
     assert any("cache never hit" in f for f in fails), fails
     entry = extract_entry(synthetic_e16(95_000), "x")
     assert entry["arrival_rate"] == 2.0 and entry["jobs_per_sec"] == 475.0, entry
+
+    # e17: headline metric is static-admission jobs/s at the highest rate;
+    # identity and full static coverage of the misses both gate.
+    assert check(synthetic_e17(390.0), baseline, 0.10) == []
+    fails = check(synthetic_e17(300.0), baseline, 0.10)
+    assert any("e17: throughput regression" in f for f in fails), fails
+    fails = check(synthetic_e17(390.0, identical="NO"), baseline, 0.10)
+    assert any("diverged" in f for f in fails), fails
+    fails = check(synthetic_e17(390.0, static_covers=False), baseline, 0.10)
+    assert any("cover every cache miss" in f for f in fails), fails
+    entry = extract_entry(synthetic_e17(390.0), "x")
+    assert entry["profile_speedup"] == 3.0 and entry["arrival_rate"] == 2.0, entry
 
     # A foreign machine key skips the throughput comparison but keeps verdicts.
     foreign = {"schema": SCHEMA, "entries": [dict(baseline["entries"][0],

@@ -19,6 +19,13 @@ patterns quietly break that guarantee long before a test notices:
                         thread pool: float addition is not associative, so
                         sharded reduction order changes the result. Integer
                         accumulators or a fixed reduction order are required.
+  pointer-key           iterating a std::map/std::set keyed on a pointer type:
+                        the comparator orders raw addresses, so the visit
+                        order is whatever the allocator handed out this run.
+                        Ordered containers only restore determinism when the
+                        key itself is deterministic -- key on ids (NodeId,
+                        EdgeId, job id) instead, or sort by a stable field
+                        before iterating.
   hot-path-vector       an owning std::vector member of a struct/class under
                         src/congest/: the message hot path is allocation-free
                         in steady state (docs/PERFORMANCE.md, "Memory layout &
@@ -56,6 +63,20 @@ UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*"
     r"(?P<name>[A-Za-z_]\w*)\s*[;,={(\[]"
 )
+# Ordered associative containers: nondeterministic to iterate only when the
+# key type is a pointer (the comparator orders raw addresses). The key is the
+# text before the first top-level comma of the template args -- a heuristic
+# that matches this codebase's style.
+ORDERED_DECL_RE = re.compile(
+    r"std::(?:map|set|multimap|multiset)\s*<(?P<args>[^;{]*?)>\s*&?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;,={(\[]"
+)
+
+
+def pointer_keyed(args: str) -> bool:
+    return "*" in args.split(",", 1)[0]
+
+
 # Range-for over an identifier, or .begin()/.cbegin() calls on it.
 RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*?:\s*(?P<name>[A-Za-z_]\w*)\s*\)")
 BEGIN_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
@@ -194,6 +215,28 @@ def lint_file(path: Path) -> list[Finding]:
                     "hash-dependent; use an ordered container or sort first",
                 ))
 
+    # --- pointer-key ---
+    ptr_keyed_names = {
+        m.group("name")
+        for l in code
+        for m in ORDERED_DECL_RE.finditer(l)
+        if pointer_keyed(m.group("args"))
+    }
+    if ptr_keyed_names:
+        for idx, l in enumerate(code):
+            names = {m.group("name") for m in RANGE_FOR_RE.finditer(l)}
+            names |= {m.group("name") for m in BEGIN_RE.finditer(l)}
+            for name in sorted(names & ptr_keyed_names):
+                if suppressed("pointer-key", lines, idx):
+                    continue
+                findings.append(Finding(
+                    path, idx + 1, "pointer-key",
+                    f"iterating '{name}', an ordered container keyed on a "
+                    "pointer: visit order follows raw addresses, which the "
+                    "allocator hands out nondeterministically; key on a "
+                    "stable id instead",
+                ))
+
     # --- raw-rng ---
     if not any(rel.endswith(exempt) for exempt in RAW_RNG_EXEMPT):
         for idx, l in enumerate(code):
@@ -253,22 +296,28 @@ SELF_TEST_BAD = """\
 #include <unordered_map>
 std::unordered_map<int, int> counts;
 double total = 0.0;
+std::map<Node*, int> owners;
+std::set<int> ordered_ids;
 void f(ThreadPool& pool) {
   for (const auto& [k, v] : counts) { total += v; }
   std::random_device rd;
+  for (const auto& [node, count] : owners) { }
+  for (int id : ordered_ids) { }
 }
 void g() {
   for (const auto& [k, v] : counts) {  // det-ok: unordered-iteration -- stats
   }
   // det-ok: raw-rng -- entropy probe for diagnostics only
   std::random_device rd2;
+  for (const auto& [node, count] : owners) { }  // det-ok: pointer-key -- debug dump
 }
 """
 
 SELF_TEST_EXPECT = [
-    (5, "unordered-iteration"),
-    (5, "float-accumulation"),
-    (6, "raw-rng"),
+    (7, "unordered-iteration"),
+    (7, "float-accumulation"),
+    (8, "raw-rng"),
+    (9, "pointer-key"),
 ]
 
 # Exercises the hot-path-vector rule: must live under src/congest/ (the rule
@@ -326,7 +375,7 @@ def self_test() -> int:
         ok = False
     if not ok:
         return 2
-    print("self-test passed: 4 seeded findings caught, 4 suppressions/gates honored")
+    print("self-test passed: 5 seeded findings caught, 5 suppressions/gates honored")
     return 0
 
 
