@@ -65,6 +65,14 @@ class FloodAlgorithm final : public DistributedAlgorithm {
       : DistributedAlgorithm(base_seed), rounds_(rounds) {}
 
   std::string name() const override { return "flood"; }
+  /// The flood payload is exactly {self, vround, acc}: three words. The
+  /// declared width lets the executor run 3-word compact lanes instead of
+  /// config-cap-wide ones.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 3;
+    return f;
+  }
   std::uint32_t rounds() const override { return rounds_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override {
     return std::make_unique<FloodProgram>(node);

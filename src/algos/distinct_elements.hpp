@@ -53,8 +53,13 @@ class DistinctElementsAlgorithm final : public DistributedAlgorithm {
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
   /// Deliberately opaque -- and the fallback is tight here: the OR-flood has
   /// every node sending on every incident edge in every round, which is
-  /// exactly the whole-bandwidth surface the analyzer assumes.
-  StaticFootprint static_footprint() const override { return StaticFootprint::opaque(); }
+  /// exactly the whole-bandwidth surface the analyzer assumes. Payload width
+  /// is still bounded: every message is a {word index, mask word} pair.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 2;
+    return f;
+  }
 
   std::uint32_t num_thresholds() const { return num_thresholds_; }
   std::uint32_t words() const { return words_; }

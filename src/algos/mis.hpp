@@ -48,7 +48,8 @@ class LubyMisAlgorithm final : public DistributedAlgorithm {
   /// most one join announcement ever (a node joins once, then is silent), so
   /// its total load is <= phases + 1.
   StaticFootprint static_footprint() const override {
-    return StaticFootprint::envelope(phases_ + 1);
+    // Widest message is the priority announcement {tag, priority}.
+    return StaticFootprint::envelope(phases_ + 1, /*max_payload_words=*/2);
   }
 
   std::uint32_t phases() const { return phases_; }

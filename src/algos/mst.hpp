@@ -79,8 +79,14 @@ class PipelineMstAlgorithm final : public DistributedAlgorithm {
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
   /// Deliberately opaque: the pattern depends on the data-driven fragment
   /// evolution (which edges are MWOEs, where fragments merge), so the
-  /// analyzer falls back to the conservative whole-bandwidth bound.
-  StaticFootprint static_footprint() const override { return StaticFootprint::opaque(); }
+  /// analyzer falls back to the conservative whole-bandwidth bound. The
+  /// payload width is still bounded: the widest record is the candidate
+  /// report {tag, weight, u, v, fragments}, five words.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 5;
+    return f;
+  }
 
   const MstPlan& plan() const { return plan_; }
   const std::vector<std::uint64_t>& weights() const { return weights_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+#include <utility>
 
 #include "util/alloc_counter.hpp"
 #include "util/check.hpp"
@@ -40,17 +42,14 @@ bool ExecutionResult::all_completed() const {
 // The message-path structs live at namespace scope (not in an anonymous
 // namespace) because ExecScratch -- declared in the header -- holds arenas of
 // them; this TU is the only one that defines or uses them.
-
-/// Staged transmission awaiting end-of-big-round delivery. Trivially
-/// copyable: staging, retry queues, and delivery arenas move these as raw
-/// bytes (the static_asserts below pin that property).
-struct StagedMessage {
-  std::uint32_t alg;
-  std::uint32_t tag;  // sender's virtual round
-  NodeId to;
-  std::uint32_t directed_edge;
-  VMessage msg;
-};
+//
+// Message layout (the width-dispatch layer, congest/message.hpp): the engine
+// never moves an owning VMessage. A staged or delivered message is one packed
+// u32 header (sender + payload length) in a header lane plus W u64 words in a
+// W-strided payload lane, where W is the run width run() derived. Everything
+// below that stores "a message" stores those two lanes. perf-ok:
+// sizeof(VMessage) appears nowhere in this engine; lane strides come from the
+// run width alone.
 
 /// One scheduled execution event.
 struct ExecEvent {
@@ -59,44 +58,116 @@ struct ExecEvent {
   std::uint32_t vround;
 };
 
-/// A delivered message parked until the big-round in which its consumer
-/// executes (or until on_finish for tag == T messages).
-struct PendingMessage {
+/// Logical identity of a staged message, parallel to the staged header lane.
+/// Filled only when an observer or the fault layer consumes identities
+/// (patterns, flight recorder, fault injection); the clean unobserved path
+/// never writes or reads it -- routing needs only the precomputed
+/// staged_round/staged_slot lanes.
+struct StagedMeta {
   std::uint32_t alg;
+  std::uint32_t tag;  // sender's virtual round
   NodeId to;
-  VMessage msg;
 };
 
-static_assert(std::is_trivially_copyable_v<StagedMessage>);
+/// A retransmission-path message: identity plus the compact lane record,
+/// inlined at the engine's instantiation width so RetryQueue entries stay
+/// trivially copyable PODs.
+template <std::uint32_t W>
+struct RetryMessage {
+  StagedMeta meta;
+  std::uint32_t directed_edge;
+  std::uint32_t hdr;  // packed sender + length (congest/message.hpp)
+  std::uint64_t pay[W];
+};
+
 static_assert(std::is_trivially_copyable_v<ExecEvent>);
-static_assert(std::is_trivially_copyable_v<PendingMessage>);
+static_assert(std::is_trivially_copyable_v<StagedMeta>);
+static_assert(std::is_trivially_copyable_v<RetryMessage<1>>);
+static_assert(std::is_trivially_copyable_v<RetryMessage<InlinePayload::kInlineCapacity>>);
+
+/// A minimal growable POD lane. The staging and parked-delivery lanes below
+/// append tens of millions of fixed-size records per run; std::vector's
+/// iterator-range insert machinery (range length, exception paths, memmove
+/// dispatch) dominates the profile at that rate. A Lane is the subset the
+/// engine needs: trivially-copyable elements, amortized-doubling growth that
+/// only ever happens during warm-up (steady state is allocation-free, like
+/// every other arena here), and an uninitialized bulk append that compiles
+/// to one fixed-size copy.
+template <typename T>
+struct Lane {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::unique_ptr<T[]> store;
+  std::size_t len = 0;
+  std::size_t cap = 0;
+
+  void clear() { len = 0; }
+  bool empty() const { return len == 0; }
+  std::size_t size() const { return len; }
+  T* data() { return store.get(); }
+  const T* data() const { return store.get(); }
+  T& operator[](std::size_t i) { return store[i]; }
+  const T& operator[](std::size_t i) const { return store[i]; }
+  T* begin() { return store.get(); }
+  T* end() { return store.get() + len; }
+  const T* begin() const { return store.get(); }
+  const T* end() const { return store.get() + len; }
+  void reserve(std::size_t n) {
+    if (n > cap) regrow(n);
+  }
+  void push(T v) {
+    if (len == cap) [[unlikely]] regrow(cap != 0 ? cap * 2 : 64);
+    store[len++] = v;
+  }
+  /// Uninitialized append of n elements; the caller fills them.
+  T* append_n(std::size_t n) {
+    if (len + n > cap) [[unlikely]] {
+      regrow(std::max(cap != 0 ? cap * 2 : std::size_t{64}, len + n));
+    }
+    T* p = store.get() + len;
+    len += n;
+    return p;
+  }
+  void regrow(std::size_t n) {
+    std::unique_ptr<T[]> grown(new T[n]);
+    if (len != 0) std::memcpy(grown.get(), store.get(), len * sizeof(T));
+    store = std::move(grown);
+    cap = n;
+  }
+};
 
 /// One owner-worker's parked deliveries bound to a future big-round: the
-/// consumer-slot lane and the message lane kept parallel (SoA), so the gather
-/// histogram at that round streams a dense u32 lane and only the final
-/// scatter moves 56-byte VMessages.
+/// consumer-slot lane, the header lane, and the W-strided payload lane kept
+/// parallel (SoA), so the gather histogram at that round streams a dense u32
+/// lane and only the final scatter moves payload words.
 struct PendingSeg {
-  std::vector<std::uint32_t> slot;  // perf-ok: recycled via the owner's free list
-  std::vector<VMessage> msg;        // perf-ok: recycled via the owner's free list
+  Lane<std::uint32_t> slot;  // perf-ok: recycled via the owner's free list
+  Lane<std::uint32_t> hdr;   // perf-ok: recycled via the owner's free list
+  Lane<std::uint64_t> pay;   // perf-ok: recycled via the owner's free list
 };
 
 /// Per-worker staging plus reusable scratch. Within one big-round every event
 /// touches only its own (alg, node) state, so shards race only if they shared
-/// scratch -- they don't; and because each shard appends to its own `staged`
-/// and shards are contiguous slices of the bucket, concatenating the buffers
-/// in shard order reproduces the serial staging order bit for bit.
+/// scratch -- they don't; and because each shard appends to its own staging
+/// lanes and shards are contiguous slices of the bucket, concatenating the
+/// lanes in shard order reproduces the serial staging order bit for bit.
 struct WorkerState {
-  std::vector<StagedMessage> staged;  // perf-ok: cleared per round, capacity retained
-  // SoA lanes parallel to `staged`, filled at staging time (inside the
-  // parallel execution phase, where routing lookups are free): the directed
-  // edge and the consumer-side coordinates each message binds to at the
-  // barrier. The barrier's histogram and routing passes stream these dense
-  // u32 lanes instead of striding through 72-byte StagedMessage records.
-  std::vector<std::uint32_t> staged_edge;   // perf-ok: lane of `staged`
-  std::vector<std::uint32_t> staged_round;  // perf-ok: consumer big-round, or kFinishDest/kNeverDest
-  std::vector<std::uint32_t> staged_slot;   // perf-ok: consumer's slot in its round's bucket
-  std::vector<std::pair<std::uint32_t, Payload>> sends;  // perf-ok: per-event scratch, reserved to max_degree
-  std::vector<std::uint8_t> slot_used;  // perf-ok: size max_degree, zeroed once
+  // Compact SoA staging lanes, all parallel (entry i of each lane describes
+  // staged message i). The payload lane is W-strided: message i's words live
+  // at [i*W, i*W + W). staged_dest packs (consumer big-round << 32) | bucket
+  // slot -- or a sentinel round (kFinishDest with the packed finish key,
+  // kNeverDest) -- into one word so the send path and barrier move one lane
+  // instead of two.
+  Lane<std::uint32_t> staged_hdr;   // perf-ok: cleared per round, capacity retained
+  Lane<std::uint64_t> staged_pay;   // perf-ok: W-strided payload lane
+  Lane<StagedMeta> staged_meta;     // perf-ok: only filled for observed/faulty runs
+  Lane<std::uint32_t> staged_edge;  // perf-ok: directed edge per message
+  Lane<std::uint64_t> staged_dest;  // perf-ok: (round << 32) | slot per message
+  // Duplicate-send detection without any clearing: slot s was used by the
+  // current event iff slot_stamp[s] == event_serial. The serial is bumped
+  // before every event and never reset (a u64 cannot realistically wrap), so
+  // stale stamps from any earlier event, round, or run can never collide.
+  std::vector<std::uint64_t> slot_stamp;  // perf-ok: size max_degree, never cleared
+  std::uint64_t event_serial = 0;
   // --- Tile ownership (the tiled delivery barrier, docs/PERFORMANCE.md).
   // Each worker statically owns a contiguous range of consumer tiles per
   // round; everything below is written only by its owner during parallel
@@ -106,6 +177,10 @@ struct WorkerState {
   std::vector<PendingSeg> pend_pool;      // perf-ok: recycled via pend_free
   std::vector<std::uint32_t> pend_free;   // perf-ok: drained-seg free list
   std::vector<std::uint32_t> touched;     // perf-ok: touched edges of this worker's edge range
+  // Inbox-presence words this owner set during the current round's gather;
+  // the post-execution clear walks exactly these instead of memsetting the
+  // whole bitset (the bitset is all-zero outside the round window).
+  std::vector<std::uint32_t> touched_words;  // perf-ok: scoped presence clears
   std::uint32_t max_load_partial = 0;  // max edge load over this worker's edge range
   std::uint64_t violations = 0;  // causality violations counted at the parallel barrier (worker 0)
   std::uint64_t delivered = 0;  // cumulative messages consumed by this worker
@@ -114,35 +189,6 @@ struct WorkerState {
 
 namespace {
 
-/// Per-event send collector. One binary search over the (sorted) adjacency
-/// validates the neighbor and yields its adjacency slot; the per-slot bitmap
-/// flags duplicate sends in O(1); the caller resolves the directed edge id
-/// from the slot with a single indexed load -- no find_edge and no linear
-/// duplicate scan anywhere on the send path.
-struct SendSink {
-  std::span<const HalfEdge> neighbors;
-  std::uint32_t max_payload_words;
-  std::uint8_t* slot_used;  // worker scratch sized max_degree, all zero between events
-  std::vector<std::pair<std::uint32_t, Payload>>* sends;  // borrowed worker scratch
-
-  static void send(void* raw, NodeId neighbor, Payload payload) {
-    auto* sink = static_cast<SendSink*>(raw);
-    const auto nbrs = sink->neighbors;
-    const auto it = std::lower_bound(
-        nbrs.begin(), nbrs.end(), neighbor,
-        [](const HalfEdge& h, NodeId x) { return h.neighbor < x; });
-    DASCHED_CHECK_MSG(it != nbrs.end() && it->neighbor == neighbor,
-                      "send to non-neighbor");
-    DASCHED_CHECK_MSG(payload.size() <= sink->max_payload_words,
-                      "message exceeds CONGEST word budget");
-    const auto slot = static_cast<std::uint32_t>(it - nbrs.begin());
-    DASCHED_CHECK_MSG(!sink->slot_used[slot],
-                      "two messages to one neighbor in one round");
-    sink->slot_used[slot] = 1;
-    sink->sends->emplace_back(slot, payload);
-  }
-};
-
 /// Minimum events per shard before a big-round is farmed out to the pool:
 /// below this, waking the workers costs more than the bucket. The cutoff is
 /// invisible in results -- serial and parallel execution are bit-identical.
@@ -150,11 +196,11 @@ constexpr std::size_t kMinEventsPerShard = 16;
 
 constexpr std::uint32_t kNoBucket = ~std::uint32_t{0};
 
-/// staged_round sentinels. kFinishDest marks tag == T messages (consumed by
-/// on_finish after the loop); kNeverDest marks messages whose consumer is
-/// never scheduled (counted nowhere, dropped). Real destinations are
-/// big-rounds < num_big_rounds, far below both. `dest >= kNeverDest` tests
-/// for either sentinel in one compare.
+/// staged_dest round-half sentinels. kFinishDest marks tag == T messages
+/// (consumed by on_finish after the loop); kNeverDest marks messages whose
+/// consumer is never scheduled (counted nowhere, dropped). Real destinations
+/// are big-rounds < num_big_rounds, far below both. `dest >= kNeverDest`
+/// tests for either sentinel in one compare.
 constexpr std::uint32_t kNeverDest = ~std::uint32_t{0} - 1;
 constexpr std::uint32_t kFinishDest = ~std::uint32_t{0};
 
@@ -164,12 +210,115 @@ constexpr std::uint32_t kFinishDest = ~std::uint32_t{0};
 /// barrier reproduces the serial routing bit for bit.
 constexpr std::uint64_t kMinMessagesParallelBarrier = 256;
 
+/// Per-event send path, width-specialized: stages straight into the
+/// executing worker's compact lanes with no intermediate send buffer. One
+/// binary search over the (sorted) adjacency validates the neighbor and
+/// yields its adjacency slot; the per-slot epoch stamp flags duplicate sends
+/// in O(1) with no clearing; the directed edge id is one indexed load off
+/// the slot; and the consumer's (big-round, bucket slot) coordinate is
+/// resolved right here from the flat schedule -- the delivery barrier never
+/// touches the schedule at all.
+template <std::uint32_t W>
+struct SendSink {
+  // Per-run bindings.
+  WorkerState* ws;
+  const std::uint32_t* sched_flat;
+  const std::uint32_t* slot_of;
+  std::uint32_t max_payload_words;
+  NodeId num_nodes;
+  bool need_meta;
+  // Per-event bindings. The consumer's flat-schedule slot for a send to node
+  // v is si_base + v * si_stride (ScheduleTable row layout), hoisted here so
+  // the per-send cost is one multiply-add.
+  std::span<const HalfEdge> neighbors;
+  const std::uint32_t* directed;  // directed edge id per adjacency slot
+  std::size_t si_base;            // slot_index(alg, 0, vround + 1)
+  std::size_t si_stride;          // rounds(alg)
+  std::uint32_t alg;
+  std::uint32_t vround;
+  std::uint32_t from;       // sender id == low header bits
+  bool finishing;           // vround == rounds(alg): messages go to on_finish
+  std::uint32_t slot_hint;  // next adjacency slot if sends come in order
+
+  static void send(void* raw, NodeId neighbor, const Payload& payload) {
+    auto* sink = static_cast<SendSink*>(raw);
+    WorkerState& ws = *sink->ws;
+    const auto nbrs = sink->neighbors;
+    // Nearly every program iterates ctx.neighbors() (sorted) when sending,
+    // so the next send's slot is almost always the hint; the binary search
+    // only runs for out-of-order senders.
+    std::uint32_t slot = sink->slot_hint;
+    if (slot >= nbrs.size() || nbrs[slot].neighbor != neighbor) [[unlikely]] {
+      const auto it = std::lower_bound(
+          nbrs.begin(), nbrs.end(), neighbor,
+          [](const HalfEdge& h, NodeId x) { return h.neighbor < x; });
+      DASCHED_CHECK_MSG(it != nbrs.end() && it->neighbor == neighbor,
+                        "send to non-neighbor");
+      slot = static_cast<std::uint32_t>(it - nbrs.begin());
+    }
+    sink->slot_hint = slot + 1;
+    DASCHED_CHECK_MSG(payload.size() <= sink->max_payload_words,
+                      "message exceeds CONGEST word budget");
+    // A declared-width run sizes its lanes below the config cap; an algorithm
+    // whose footprint under-declared its payload width is a contract bug, not
+    // a silent truncation.
+    DASCHED_CHECK_MSG(payload.size() <= W,
+                      "message wider than the declared footprint payload width");
+    DASCHED_CHECK_MSG(ws.slot_stamp[slot] != ws.event_serial,
+                      "two messages to one neighbor in one round");
+    ws.slot_stamp[slot] = ws.event_serial;
+    // Compact lane staging: one packed header word plus a fixed W-word
+    // payload copy (InlinePayload zero-fills its tail, so copying W words
+    // never reads indeterminate bytes and the compiler emits one straight
+    // vector move).
+    ws.staged_hdr.push(sink->from | (payload.size() << kMsgHeaderFromBits));
+    std::memcpy(ws.staged_pay.append_n(W), payload.data(),
+                W * sizeof(std::uint64_t));
+    if (sink->need_meta) ws.staged_meta.push({sink->alg, sink->vround, neighbor});
+    ws.staged_edge.push(sink->directed[slot]);
+    if (sink->finishing) {
+      // tag == T: the slot half carries the packed finish key alg*n + to.
+      ws.staged_dest.push(
+          (std::uint64_t{kFinishDest} << 32) |
+          static_cast<std::uint32_t>(std::size_t{sink->alg} * sink->num_nodes +
+                                     neighbor));
+    } else {
+      const std::size_t si =
+          sink->si_base + std::size_t{neighbor} * sink->si_stride;
+      const std::uint32_t dest = sink->sched_flat[si];
+      ws.staged_dest.push(dest == kNeverScheduled
+                              ? std::uint64_t{kNeverDest} << 32
+                              : (std::uint64_t{dest} << 32) | sink->slot_of[si]);
+    }
+  }
+};
+
+/// Software prefetch distance (messages ahead) on the scatter's CSR targets:
+/// far enough to cover a cache miss on the arena line, near enough that the
+/// line is still resident when the copy reaches it.
+constexpr std::size_t kScatterPrefetchDist = 8;
+
+inline void prefetch_for_write(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1, 3);
+#else
+  (void)p;
+#endif
+}
+
+/// Visited-marker bit for the in-place stable finish permutation below; the
+/// finish arena is checked to stay under 2^31 messages so the bit is free.
+constexpr std::uint32_t kPlaced = 0x80000000u;
+
 }  // namespace
 
 /// Everything the engine reuses across big-rounds and runs. First run of a
 /// workload grows each buffer to its high-water mark; from then on the
 /// message path performs no heap allocation (ExecutionResult::hot_path_allocs
-/// measures exactly this window).
+/// measures exactly this window). All lanes are width-agnostic storage: the
+/// payload lanes are raw u64 vectors whose stride is whatever run width the
+/// current run_impl<W> instantiation uses, so one scratch serves runs of any
+/// width.
 struct ExecScratch {
   // perf-ok: all members below are arenas/scratch -- sized once per run (or
   // grown to a high-water mark during warm-up) and recycled, never allocated
@@ -199,28 +348,39 @@ struct ExecScratch {
   // slot_bound is the static tile-ownership table, num_big_rounds rows of
   // (num_workers + 1) consumer-slot boundaries: worker w owns slots
   // [row[w], row[w + 1]) of round t's bucket -- whole tiles, 64-event
-  // aligned so one inbox_present word never spans two owners. ---
+  // aligned so one inbox_present word never spans two owners.
+  //
+  // inbox_present is maintained all-zero outside a round's gather/execute
+  // window: the gather's first-touch histogram sets bits and records the
+  // touched words, and the post-execution sweep clears exactly those words.
+  // That invariant is what lets the per-slot count lane skip zeroing
+  // entirely -- a count cell is only ever read behind a presence bit set
+  // this round, and the first touch *assigns* 1 instead of incrementing. ---
   std::vector<std::uint32_t> slot_of;      // perf-ok: lane of schedule.flat(), rebuilt per run
   std::vector<std::uint32_t> slot_bound;   // perf-ok: tile ownership, rebuilt per run
   std::vector<std::uint64_t> inbox_present;  // perf-ok: 1 bit per event of the bucket
 
-  // --- Per-big-round CSR inbox arena: this round's consumable messages,
-  // counting-sorted into one contiguous slice per event. ---
-  std::vector<VMessage> round_arena;        // perf-ok: reused every big-round
-  std::vector<std::uint32_t> inbox_offset;  // perf-ok: per event in bucket, size + 1
+  // --- Per-big-round CSR inbox arena lanes: this round's consumable
+  // messages, counting-sorted into contiguous per-event slices. ---
+  std::vector<std::uint32_t> arena_hdr;     // perf-ok: reused every big-round
+  std::vector<std::uint64_t> arena_pay;     // perf-ok: W-strided, reused every big-round
+  std::vector<std::uint32_t> inbox_offset;  // perf-ok: per populated event slot
   std::vector<std::uint32_t> inbox_cursor;  // perf-ok: counting-sort scratch
+  std::vector<std::uint32_t> inbox_count;   // perf-ok: never zeroed (presence-guarded)
 
-  // --- tag == T messages, consumed by on_finish after the loop. ---
-  std::vector<PendingMessage> finish_pending;  // perf-ok: appended across the run
-  std::vector<VMessage> finish_arena;      // perf-ok: sorted once after the loop
+  // --- tag == T messages, consumed by on_finish after the loop. Kept as
+  // compact lanes keyed by the packed finish key alg*n + to (fits u32,
+  // checked per run) and stably sorted IN PLACE by one cycle-following
+  // permutation after the loop -- there is no second arena copy. ---
+  std::vector<std::uint32_t> finish_key;   // perf-ok: appended across the run
+  std::vector<std::uint32_t> finish_hdr;   // perf-ok: appended across the run
+  std::vector<std::uint64_t> finish_pay;   // perf-ok: W-strided, appended across the run
+  std::vector<std::uint32_t> finish_target;  // perf-ok: permutation scratch, one u32 per message
   std::vector<std::size_t> finish_offset;  // perf-ok: per (alg, node), size k*n + 1
 
   // --- Edge-load accounting (self-zeroing between rounds). ---
   std::vector<std::uint32_t> edge_count;     // perf-ok: zeroed via touched_edges
   std::vector<std::uint32_t> touched_edges;  // perf-ok: reserved to num_directed_edges
-
-  // --- Reliable-delivery drain buffer (faulty runs only). ---
-  std::vector<RetryQueue<StagedMessage>::Entry> retry_due;  // perf-ok: drain_into reuses capacity
 };
 
 Executor::Executor(const Graph& g, ExecConfig cfg)
@@ -229,6 +389,13 @@ Executor::Executor(const Graph& g, ExecConfig cfg)
                    "max_payload_words exceeds the inline payload capacity; "
                    "recompile with -DDASCHED_PAYLOAD_INLINE_WORDS=<n> to spill "
                    "to a larger inline message");
+  DASCHED_CHECK_GE(cfg_.max_payload_words, 1u,
+                   "max_payload_words must be at least one word");
+  // Reject geometry that cannot hold even one max-width message per tile --
+  // tile_events_for_bytes used to silently floor such budgets to 64 events,
+  // i.e. hand back 64x the requested bytes (see its contract).
+  DASCHED_CHECK_MSG(cfg_.tile_bytes >= arena_message_bytes(cfg_.max_payload_words),
+                    "tile_bytes smaller than one max-width arena message");
 }
 
 Executor::~Executor() = default;
@@ -241,12 +408,57 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
 ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algorithms,
                               const ScheduleTable& schedule) {
+  // --- Derive the run width: the payload-word stride of every staging and
+  // delivery lane for this run. When every admitted algorithm bounds its
+  // payload via StaticFootprint::max_payload_words, the lanes shrink to the
+  // largest declared width; any undeclared algorithm forces the config cap.
+  // The clamp keeps the width a valid lane stride (>= 1) and never above the
+  // cap the SendSink enforces. ---
+  std::uint32_t width = 0;
+  bool all_declared = !algorithms.empty();
+  for (const auto* alg : algorithms) {
+    const std::uint32_t w = alg->static_footprint().max_payload_words;
+    if (w == StaticFootprint::kUndeclaredWidth) {
+      all_declared = false;
+      break;
+    }
+    width = std::max(width, w);
+  }
+  if (!all_declared) width = cfg_.max_payload_words;
+  width = std::clamp<std::uint32_t>(width, 1, cfg_.max_payload_words);
+
+  // Dispatch to the width-specialized engine: one instantiation per
+  // supported width, selected once per run, so every per-message copy inside
+  // is a fixed-size move.
+  ExecutionResult out;
+  bool dispatched = false;
+  [&]<std::size_t... I>(std::index_sequence<I...>) {
+    (void)(((I + 1 == width)
+                ? (out = run_impl<static_cast<std::uint32_t>(I + 1)>(algorithms, schedule),
+                   dispatched = true)
+                : false) ||
+           ...);
+  }(std::make_index_sequence<InlinePayload::kInlineCapacity>{});
+  DASCHED_CHECK_MSG(dispatched, "run width outside the inline payload capacity");
+  return out;
+}
+
+template <std::uint32_t W>
+ExecutionResult Executor::run_impl(std::span<const DistributedAlgorithm* const> algorithms,
+                                   const ScheduleTable& schedule) {
   const std::size_t k = algorithms.size();
   const NodeId n = graph_.num_nodes();
   DASCHED_CHECK_EQ(schedule.num_algorithms(), k,
                    "schedule table does not match the problem dimensions");
   DASCHED_CHECK_EQ(schedule.num_nodes(), n,
                    "schedule table does not match the problem dimensions");
+  // Packed-header capacity: the sender id must fit the header's from-field
+  // (32 bits minus the length bits; congest/message.hpp).
+  DASCHED_CHECK_MSG(std::uint64_t{n} <= kMaxPackedHeaderNodes,
+                    "graph too large for packed 32-bit message headers");
+  // Packed finish keys alg*n + to must fit u32 (see finish lanes below).
+  DASCHED_CHECK_MSG(static_cast<std::uint64_t>(k) * n <= (std::uint64_t{1} << 32),
+                    "k*n exceeds the packed finish-key range");
 
   // --- Admission gate: consulted once, before any event executes. A null
   // gate costs nothing; a rejection is a hard contract failure. ---
@@ -353,10 +565,13 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
   // --- Size the delivery arenas (no allocation inside the loop: segs and
   // arenas below only grow to warm-up high-water marks). ---
-  scratch.inbox_offset.reserve(max_bucket_size + 1);
-  scratch.inbox_cursor.reserve(max_bucket_size + 1);
+  scratch.inbox_offset.reserve(max_bucket_size);
+  scratch.inbox_cursor.reserve(max_bucket_size);
+  scratch.inbox_count.reserve(max_bucket_size);
   scratch.inbox_present.reserve(max_bucket_size / 64 + 1);
-  scratch.finish_pending.clear();
+  scratch.finish_key.clear();
+  scratch.finish_hdr.clear();
+  scratch.finish_pay.clear();
   scratch.edge_count.assign(graph_.num_directed_edges(), 0);
   scratch.touched_edges.clear();
   scratch.touched_edges.reserve(graph_.num_directed_edges());
@@ -371,7 +586,8 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   // counts. With `faults` null none of this is touched. ---
   const FaultInjector* const faults = cfg_.faults;
   const std::uint32_t max_retries = faults != nullptr ? cfg_.retry.max_retries : 0;
-  RetryQueue<StagedMessage> retry_queue;
+  RetryQueue<RetryMessage<W>> retry_queue;
+  std::vector<typename RetryQueue<RetryMessage<W>>::Entry> retry_due;
   // Retransmissions may land past the last scheduled big-round (they still
   // matter: tag-T messages are consumed by on_finish after the loop); the
   // horizon grows to cover them.
@@ -379,40 +595,46 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
   // --- Worker pool and per-worker staging. Workers persist across runs:
   // slot_used is zeroed once at creation (the send loop restores it to zero
-  // after every event) and staged/sends keep their warmed-up capacity. ---
+  // after every event) and the staging lanes keep their warmed-up capacity. ---
   const std::uint32_t num_workers = std::max<std::uint32_t>(1, cfg_.num_threads);
   if (num_workers > 1 && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(num_workers);
   }
   if (scratch.workers.size() != num_workers) {
     scratch.workers.resize(num_workers);
-    for (auto& ws : scratch.workers) ws.slot_used.assign(graph_.max_degree(), 0);
+    for (auto& ws : scratch.workers) ws.slot_stamp.assign(graph_.max_degree(), 0);
   }
+  // Identity lanes are needed only when someone consumes message identities
+  // at the barrier; the clean unobserved path skips the lane entirely.
+  const bool need_meta = faults != nullptr || cfg_.recorder != nullptr ||
+                         cfg_.record_patterns;
   std::vector<WorkerState>& workers = scratch.workers;
   for (auto& ws : workers) {
     ws.delivered = 0;
     ws.skipped = 0;
     ws.max_load_partial = 0;
     ws.violations = 0;
-    ws.staged.clear();
-    ws.staged.reserve(scratch.staged_high_water);
+    ws.staged_hdr.clear();
+    ws.staged_hdr.reserve(scratch.staged_high_water);
+    ws.staged_pay.clear();
+    ws.staged_pay.reserve(scratch.staged_high_water * W);
+    ws.staged_meta.clear();
+    if (need_meta) ws.staged_meta.reserve(scratch.staged_high_water);
     ws.staged_edge.clear();
     ws.staged_edge.reserve(scratch.staged_high_water);
-    ws.staged_round.clear();
-    ws.staged_round.reserve(scratch.staged_high_water);
-    ws.staged_slot.clear();
-    ws.staged_slot.reserve(scratch.staged_high_water);
-    ws.sends.clear();
-    ws.sends.reserve(graph_.max_degree());  // sends per event <= degree
+    ws.staged_dest.clear();
+    ws.staged_dest.reserve(scratch.staged_high_water);
     ws.pend_round.assign(std::size_t{num_big_rounds} + 1, kNoBucket);
     ws.pend_free.clear();
     for (std::uint32_t b = 0; b < ws.pend_pool.size(); ++b) {
       ws.pend_pool[b].slot.clear();
-      ws.pend_pool[b].msg.clear();
+      ws.pend_pool[b].hdr.clear();
+      ws.pend_pool[b].pay.clear();
       ws.pend_free.push_back(b);
     }
     ws.touched.clear();
     ws.touched.reserve(graph_.num_directed_edges() / num_workers + 1);
+    ws.touched_words.clear();
   }
   std::uint64_t rounds_parallel = 0;
   std::uint64_t rounds_serial = 0;
@@ -432,8 +654,10 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
   // [ceil(w*T/W), ceil((w+1)*T/W)), recorded as consumer-slot boundaries.
   // Tile boundaries are multiples of tile_events (itself a multiple of 64),
   // so owners never share an inbox_present word; the last non-empty range is
-  // clamped to B and absorbs the ragged tail. ---
-  const std::uint32_t tile_events = tile_events_for_bytes(cfg_.tile_bytes);
+  // clamped to B and absorbs the ragged tail. The byte budget is spent at
+  // the *run width*: narrower runs pack more events into the same tile
+  // bytes. ---
+  const std::uint32_t tile_events = tile_events_for_bytes(cfg_.tile_bytes, W);
   auto& slot_bound = scratch.slot_bound;
   slot_bound.assign(std::size_t{num_big_rounds} * (num_workers + 1), 0);
   for (std::uint32_t t = 0; t < num_big_rounds; ++t) {
@@ -511,26 +735,30 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                      "executor: out-of-order virtual round");
     prog_progress = ev.vround;
 
-    // This event's inbox: its contiguous slice of the round arena. Messages
-    // bound to this round were counting-sorted into per-event slices at the
-    // top of the round; events without messages (vround 1, quiet rounds) get
-    // a zero-length slice -- detected by one presence-bitset bit instead of
-    // two offset loads.
-    std::span<const VMessage> in;
+    // This event's inbox: its contiguous slice of the round arena lanes.
+    // Messages bound to this round were counting-sorted into per-event
+    // slices at the top of the round; events without messages (vround 1,
+    // quiet rounds) get an empty view -- detected by one presence-bitset bit
+    // instead of two offset loads.
+    InboxView in;
+    std::uint32_t in_count = 0;
     if (round_has_inbox) {
       const std::size_t li = event_index - round_begin;
       if ((scratch.inbox_present[li >> 6] >> (li & 63)) & 1) {
-        in = {scratch.round_arena.data() + scratch.inbox_offset[li],
-              scratch.inbox_offset[li + 1] - scratch.inbox_offset[li]};
+        const std::uint32_t off = scratch.inbox_offset[li];
+        in_count = scratch.inbox_count[li];
+        in = InboxView(scratch.arena_hdr.data() + off,
+                       scratch.arena_pay.data() + std::size_t{off} * W, W,
+                       in_count);
       }
     }
-    ws.delivered += in.size();
+    ws.delivered += in_count;
     if (profiler != nullptr) {
       // Shard-local bumps (no sharing, no atomics): this worker owns its
       // shard; end_round() folds the shards in shard order at the barrier.
       auto& shard = profiler->shards()[&ws - workers.data()];
       ++shard.events;
-      shard.inbox += in.size();
+      shard.inbox += in_count;
     }
     if (recorder != nullptr) {
       recorder->record(static_cast<std::uint32_t>(&ws - workers.data()),
@@ -540,42 +768,35 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
 
     const auto nbrs = graph_.neighbors(ev.node);
     const auto directed = graph_.directed_ids(ev.node);
-    ws.sends.clear();
-    SendSink sink{nbrs, cfg_.max_payload_words, ws.slot_used.data(), &ws.sends};
+    // Every send of this event stages directly into ws's compact lanes,
+    // routed against the flat schedule as it lands (see SendSink).
+    ++ws.event_serial;
+    const bool finishing = ev.vround == schedule.rounds(ev.alg);
+    SendSink<W> sink{&ws,
+                     sched_flat.data(),
+                     scratch.slot_of.data(),
+                     cfg_.max_payload_words,
+                     n,
+                     need_meta,
+                     nbrs,
+                     directed.data(),
+                     finishing ? 0 : schedule.slot_index(ev.alg, 0, ev.vround + 1),
+                     schedule.rounds(ev.alg),
+                     ev.alg,
+                     ev.vround,
+                     ev.node,
+                     finishing};
     VirtualContext ctx;
     ctx.self_ = ev.node;
     ctx.num_nodes_ = n;
     ctx.vround_ = ev.vround;
     ctx.inbox_ = in;
     ctx.neighbors_ = nbrs;
-    ctx.send_fn_ = &SendSink::send;
+    ctx.send_fn_ = &SendSink<W>::send;
     ctx.sink_ = &sink;
     ctx.rng_ = &rngs[ev.alg][ev.node];
 
     programs[ev.alg][ev.node]->on_round(ctx);
-
-    const std::uint32_t alg_rounds = schedule.rounds(ev.alg);
-    for (const auto& [slot, payload] : ws.sends) {
-      ws.slot_used[slot] = 0;
-      const NodeId to = nbrs[slot].neighbor;
-      ws.staged.push_back(
-          {ev.alg, ev.vround, to, directed[slot], VMessage{ev.node, payload}});
-      ws.staged_edge.push_back(directed[slot]);
-      // Route at staging time, inside the (possibly parallel) execution
-      // phase: the consumer of a tag-r message is (alg, to, vround r + 1),
-      // whose big-round and bucket slot are two indexed loads off the flat
-      // schedule. The barrier then never touches the schedule at all.
-      if (ev.vround == alg_rounds) {
-        ws.staged_round.push_back(kFinishDest);
-        ws.staged_slot.push_back(0);
-      } else {
-        const std::size_t si = schedule.slot_index(ev.alg, to, ev.vround + 1);
-        const std::uint32_t dest = sched_flat[si];
-        const bool never = dest == kNeverScheduled;
-        ws.staged_round.push_back(never ? kNeverDest : dest);
-        ws.staged_slot.push_back(never ? 0 : scratch.slot_of[si]);
-      }
-    }
   };
 
   // --- Steady-state window: everything from here to the end of the loop is
@@ -598,14 +819,18 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     TimedSpan round_span(telemetry, "executor", "big_round");
 
     // --- Gather this round's inboxes from the owners' pending segs:
-    // counting-sort them (stably -- seg order is delivery order) into one
-    // contiguous arena slice per event. Every pending message's consumer
-    // provably executes in this round, and its slot lies in its owner's tile
-    // range, so owners histogram and scatter only slots (and 64-event
-    // presence words) they own: the whole gather runs on the pool with no
-    // atomics, and a serial sweep over the same segs builds the identical
-    // arena. Exact per-slot offsets come from one serial prefix-sum between
-    // the two phases. ---
+    // counting-sort them (stably -- seg order is delivery order) into
+    // contiguous arena-lane slices per event. Every pending message's
+    // consumer provably executes in this round, and its slot lies in its
+    // owner's tile range, so owners histogram and scatter only slots (and
+    // 64-event presence words) they own: the whole gather runs on the pool
+    // with no atomics, and a serial sweep over the same segs builds the
+    // identical arena. Exact per-slot offsets come from one serial
+    // prefix-walk over the populated presence bits between the two phases --
+    // O(messages + bucket/64), with no per-slot zeroing anywhere: the
+    // presence bitset is all-zero on entry (the previous round cleared
+    // exactly the words it touched) and the first touch of a slot *assigns*
+    // its count. ---
     round_has_inbox = false;
     std::size_t pend_total = 0;
     for (auto& ws : workers) {
@@ -620,63 +845,75 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     if (pend_total > 0) {
       round_has_inbox = true;
       const std::size_t present_words = (bucket_size + 63) / 64;
-      scratch.inbox_offset.resize(bucket_size + 1);
-      scratch.inbox_cursor.resize(bucket_size);
-      scratch.inbox_present.resize(present_words);
-      scratch.round_arena.resize(pend_total);
-      scratch.inbox_offset[0] = 0;
-      // A worker's presence-word range: exact when its slot bounds are
-      // tile-aligned; the owner whose upper bound was clamped to the bucket
-      // size takes the ragged tail word (later workers' ranges are empty).
-      auto word_range = [&](std::uint32_t w, std::size_t& wlo, std::size_t& whi) {
-        wlo = sb[w] == bucket_size ? present_words : sb[w] / 64;
-        whi = sb[w + 1] == bucket_size ? present_words : sb[w + 1] / 64;
-      };
+      // Grow-only sizing: shrinking would churn the zero-page invariant of
+      // inbox_present and the warm capacity of the lanes.
+      if (scratch.inbox_offset.size() < bucket_size) {
+        scratch.inbox_offset.resize(bucket_size);
+        scratch.inbox_cursor.resize(bucket_size);
+        scratch.inbox_count.resize(bucket_size);
+      }
+      if (scratch.inbox_present.size() < present_words) {
+        scratch.inbox_present.resize(present_words, 0);
+      }
+      if (scratch.arena_hdr.size() < pend_total) scratch.arena_hdr.resize(pend_total);
+      if (scratch.arena_pay.size() < pend_total * W) {
+        scratch.arena_pay.resize(pend_total * W);
+      }
       const bool parallel_gather =
           num_workers > 1 && pend_total >= kMinMessagesParallelBarrier;
       auto histogram_body = [&](std::uint32_t w) {
-        const std::uint32_t lo = sb[w];
-        const std::uint32_t hi = sb[w + 1];
-        if (lo < hi) {
-          std::fill(scratch.inbox_offset.begin() + lo + 1,
-                    scratch.inbox_offset.begin() + hi + 1, 0u);
-          std::size_t wlo, whi;
-          word_range(w, wlo, whi);
-          std::fill(scratch.inbox_present.begin() + wlo,
-                    scratch.inbox_present.begin() + whi, std::uint64_t{0});
-        }
         auto& ws = workers[w];
         const std::uint32_t seg_idx =
             t < ws.pend_round.size() ? ws.pend_round[t] : kNoBucket;
         if (seg_idx == kNoBucket) return;
+        std::uint64_t* const present = scratch.inbox_present.data();
+        std::uint32_t* const count = scratch.inbox_count.data();
+        // First-touch histogram over this owner's dense slot lane: presence
+        // bits double as the "count is live" guard, so count cells need no
+        // pre-zeroing and the touched-word list scopes the post-round clear.
         for (const auto s : ws.pend_pool[seg_idx].slot) {
-          ++scratch.inbox_offset[s + 1];
-          scratch.inbox_present[s >> 6] |= std::uint64_t{1} << (s & 63);
+          const std::size_t word = s >> 6;
+          const std::uint64_t bit = std::uint64_t{1} << (s & 63);
+          const std::uint64_t wv = present[word];
+          if ((wv & bit) != 0) {
+            ++count[s];
+          } else {
+            if (wv == 0) ws.touched_words.push_back(static_cast<std::uint32_t>(word));
+            present[word] = wv | bit;
+            count[s] = 1;
+          }
         }
       };
       auto scatter_body = [&](std::uint32_t w) {
-        // Cursor init touches only populated slots: countr_zero walks the
-        // set bits of this owner's presence words.
-        std::size_t wlo, whi;
-        word_range(w, wlo, whi);
-        for (std::size_t wi = wlo; wi < whi; ++wi) {
-          std::uint64_t bits = scratch.inbox_present[wi];
-          while (bits != 0) {
-            const std::size_t s = (wi << 6) + std::countr_zero(bits);
-            bits &= bits - 1;
-            scratch.inbox_cursor[s] = scratch.inbox_offset[s];
-          }
-        }
         auto& ws = workers[w];
         const std::uint32_t seg_idx =
             t < ws.pend_round.size() ? ws.pend_round[t] : kNoBucket;
         if (seg_idx == kNoBucket) return;
         auto& seg = ws.pend_pool[seg_idx];
-        for (std::size_t i = 0; i < seg.slot.size(); ++i) {
-          scratch.round_arena[scratch.inbox_cursor[seg.slot[i]]++] = seg.msg[i];
+        const std::size_t m = seg.slot.size();
+        const std::uint32_t* const sl = seg.slot.data();
+        const std::uint32_t* const sh = seg.hdr.data();
+        const std::uint64_t* const sp = seg.pay.data();
+        const std::uint32_t* const offset = scratch.inbox_offset.data();
+        std::uint32_t* const cursor = scratch.inbox_cursor.data();
+        std::uint32_t* const ah = scratch.arena_hdr.data();
+        std::uint64_t* const ap = scratch.arena_pay.data();
+        // Width-specialized scatter: the W-word copy is a compile-time-sized
+        // move; the prefetch hides the CSR target's first-touch miss (the
+        // slot's base offset approximates the cursor well enough for a cache
+        // line).
+        for (std::size_t i = 0; i < m; ++i) {
+          if (i + kScatterPrefetchDist < m) {
+            prefetch_for_write(ap + std::size_t{offset[sl[i + kScatterPrefetchDist]]} * W);
+          }
+          const std::uint32_t at = cursor[sl[i]]++;
+          ah[at] = sh[i];
+          std::memcpy(ap + std::size_t{at} * W, sp + i * W,
+                      W * sizeof(std::uint64_t));
         }
         seg.slot.clear();
-        seg.msg.clear();
+        seg.hdr.clear();
+        seg.pay.clear();
         ws.pend_free.push_back(seg_idx);
         ws.pend_round[t] = kNoBucket;
       };
@@ -685,8 +922,21 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       } else {
         for (std::uint32_t w = 0; w < num_workers; ++w) histogram_body(w);
       }
-      for (std::size_t s = 1; s <= bucket_size; ++s) {
-        scratch.inbox_offset[s] += scratch.inbox_offset[s - 1];
+      // Serial prefix over the populated slots only, in slot order (the
+      // presence bits are walked word by word via countr_zero); doubles as
+      // the cursor init, so the scatter needs no bit-walk of its own.
+      {
+        std::uint32_t running = 0;
+        for (std::size_t wi = 0; wi < present_words; ++wi) {
+          std::uint64_t bits = scratch.inbox_present[wi];
+          while (bits != 0) {
+            const std::size_t s = (wi << 6) + std::countr_zero(bits);
+            bits &= bits - 1;
+            scratch.inbox_offset[s] = running;
+            scratch.inbox_cursor[s] = running;
+            running += scratch.inbox_count[s];
+          }
+        }
       }
       if (parallel_gather) {
         pool_->run_static_ctx(num_workers, scatter_body);
@@ -733,6 +983,16 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       ++rounds_parallel;
     }
 
+    // --- Restore the presence-bitset invariant (all-zero between rounds):
+    // clear exactly the words this round's gather touched. O(touched words),
+    // not O(bucket). ---
+    if (round_has_inbox) {
+      for (auto& ws : workers) {
+        for (const auto word : ws.touched_words) scratch.inbox_present[word] = 0;
+        ws.touched_words.clear();
+      }
+    }
+
     // --- Barrier: deliver staged messages in shard order (this reproduces
     // the serial staging order exactly), account loads, detect violations. ---
     auto account_edge = [&](std::uint32_t d) {
@@ -758,15 +1018,19 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       }
       return ow.pend_pool[idx];
     };
-    // Serial routing of one message by its precomputed destination. Parked
+    // Serial routing of one message by its precomputed destination: the lane
+    // record is (packed header, W payload words); `slot` is the consumer's
+    // bucket slot, or the packed finish key for dest == kFinishDest. Parked
     // messages go to the seg of the worker that OWNS the consumer's tile --
     // not the worker that staged them -- so the serial barrier builds exactly
     // the per-owner structure the parallel barrier builds, and gathers see
     // one seg order regardless of thread count.
     auto route_one = [&](std::uint32_t dest, std::uint32_t slot,
-                         std::uint32_t alg, NodeId to, const VMessage& msg) {
+                         std::uint32_t hdr, const std::uint64_t* pay) {
       if (dest == kFinishDest) {
-        scratch.finish_pending.push_back({alg, to, msg});
+        scratch.finish_key.push_back(slot);
+        scratch.finish_hdr.push_back(hdr);
+        scratch.finish_pay.insert(scratch.finish_pay.end(), pay, pay + W);
         return;
       }
       if (dest == kNeverDest) return;  // consumer never runs
@@ -775,34 +1039,37 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         return;
       }
       auto& seg = acquire_seg(workers[owner_of(dest, slot)], dest);
-      seg.slot.push_back(slot);
-      seg.msg.push_back(msg);
+      seg.slot.push(slot);
+      seg.hdr.push(hdr);
+      std::memcpy(seg.pay.append_n(W), pay, W * sizeof(std::uint64_t));
     };
     // Destination lookup for messages without precomputed lanes (retries on
     // the faulty path re-enter the barrier from the retry queue).
-    auto deliver = [&](std::uint32_t alg, std::uint32_t tag, NodeId to,
-                       const VMessage& msg) {
-      if (tag == schedule.rounds(alg)) {
-        route_one(kFinishDest, 0, alg, to, msg);
+    auto deliver = [&](const RetryMessage<W>& sm) {
+      if (sm.meta.tag == schedule.rounds(sm.meta.alg)) {
+        route_one(kFinishDest,
+                  static_cast<std::uint32_t>(std::size_t{sm.meta.alg} * n + sm.meta.to),
+                  sm.hdr, sm.pay);
         return;
       }
-      const std::size_t si = schedule.slot_index(alg, to, tag + 1);
+      const std::size_t si =
+          schedule.slot_index(sm.meta.alg, sm.meta.to, sm.meta.tag + 1);
       const std::uint32_t dest = sched_flat[si];
       const bool never = dest == kNeverScheduled;
-      route_one(never ? kNeverDest : dest, never ? 0 : scratch.slot_of[si], alg,
-                to, msg);
+      route_one(never ? kNeverDest : dest, never ? 0 : scratch.slot_of[si],
+                sm.hdr, sm.pay);
     };
     // Faulty-path transmission: one bandwidth slot in this big-round, fate
     // from the injector (pure in the message identity and t), retransmission
     // bookkeeping for the reliable layer.
-    auto transmit_faulty = [&](const StagedMessage& sm, std::uint32_t attempt) {
+    auto transmit_faulty = [&](const RetryMessage<W>& sm, std::uint32_t attempt) {
       auto& fs = result.faults;
       ++fs.attempts;
       account_edge(sm.directed_edge);
       ++result.total_messages;
       // Flight-recorder fate entries go to the barrier ring (index
       // num_workers): fates are decided here, serially, in shard-merged order.
-      const std::uint64_t fr_key = (std::uint64_t{sm.alg} << 32) | sm.tag;
+      const std::uint64_t fr_key = (std::uint64_t{sm.meta.alg} << 32) | sm.meta.tag;
       bool dropped = false;
       if (faults->link_down(sm.directed_edge / 2, t)) {
         ++fs.dropped_outage;
@@ -811,7 +1078,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                            fr_key, sm.directed_edge);
         }
         dropped = true;
-      } else if (faults->node_crashed(sm.to, t)) {
+      } else if (faults->node_crashed(sm.meta.to, t)) {
         // A crashed receiver neither stores nor acks the message.
         ++fs.dropped_crash;
         if (recorder != nullptr) {
@@ -819,7 +1086,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
                            fr_key, sm.directed_edge);
         }
         dropped = true;
-      } else if (faults->drop(sm.alg, sm.directed_edge, sm.tag, attempt)) {
+      } else if (faults->drop(sm.meta.alg, sm.directed_edge, sm.meta.tag, attempt)) {
         ++fs.dropped_random;
         if (recorder != nullptr) {
           recorder->record(num_workers, FlightRecorder::Kind::kDropRandom, t,
@@ -833,7 +1100,7 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
           recorder->record(num_workers, FlightRecorder::Kind::kDeliver, t,
                            fr_key, sm.directed_edge);
         }
-        if (faults->duplicate(sm.alg, sm.directed_edge, sm.tag, attempt)) {
+        if (faults->duplicate(sm.meta.alg, sm.directed_edge, sm.meta.tag, attempt)) {
           if (max_retries > 0) {
             // The reliable layer's per-edge bookkeeping recognizes the copy.
             ++fs.duplicates_suppressed;
@@ -844,21 +1111,21 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
               recorder->record(num_workers, FlightRecorder::Kind::kDuplicate, t,
                                fr_key, sm.directed_edge);
             }
-            deliver(sm.alg, sm.tag, sm.to, sm.msg);
+            deliver(sm);
           }
         }
-        deliver(sm.alg, sm.tag, sm.to, sm.msg);
+        deliver(sm);
         return;
       }
       // Dropped. Retransmit with exponential backoff (gap 2^attempt after
       // failed attempt `attempt`) while the sender is alive and budget lasts.
       if (attempt < max_retries) {
         const std::uint32_t retry_round = t + (1u << attempt);
-        if (!faults->node_crashed(sm.msg.from, retry_round)) {
+        if (!faults->node_crashed(msg_header_from(sm.hdr), retry_round)) {
           ++fs.retransmissions;
           if (recorder != nullptr) {
             recorder->record(num_workers, FlightRecorder::Kind::kRetry, t,
-                             (std::uint64_t{attempt + 1} << 32) | sm.tag,
+                             (std::uint64_t{attempt + 1} << 32) | sm.meta.tag,
                              sm.directed_edge);
           }
           if (retry_round >= horizon) {
@@ -882,52 +1149,62 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     // round's fresh sends, and their queue order is deterministic (scheduled
     // at earlier barriers in shard-merged order).
     if (max_retries > 0) {
-      retry_queue.drain_into(t, scratch.retry_due);
-      retries_this_round = scratch.retry_due.size();
+      retry_queue.drain_into(t, retry_due);
+      retries_this_round = retry_due.size();
       messages_this_round += retries_this_round;
-      for (const auto& entry : scratch.retry_due) {
+      for (const auto& entry : retry_due) {
         transmit_faulty(entry.msg, entry.attempt);
       }
     }
     std::uint64_t fresh_this_round = 0;
     for (auto& ws : workers) {
       scratch.staged_high_water =
-          std::max(scratch.staged_high_water, ws.staged.size());
-      fresh_this_round += ws.staged.size();
+          std::max(scratch.staged_high_water, ws.staged_hdr.size());
+      fresh_this_round += ws.staged_hdr.size();
     }
     messages_this_round += fresh_this_round;
 
     std::uint32_t max_load = 0;
     if (barrier_observed || num_workers == 1 ||
         fresh_this_round < kMinMessagesParallelBarrier) {
-      // --- Serial barrier: one thread walks the shards in order. ---
+      // --- Serial barrier: one thread walks the shards' lanes in order. ---
       for (std::uint32_t w = 0; w < num_workers; ++w) {
         auto& ws = workers[w];
-        const std::size_t staged_count = ws.staged.size();
+        const std::size_t staged_count = ws.staged_hdr.size();
         for (std::size_t i = 0; i < staged_count; ++i) {
-          const auto& sm = ws.staged[i];
           if (cfg_.record_patterns) {
             // Patterns describe what the algorithm sent; retries are excluded.
-            result.patterns[sm.alg].record(sm.tag, sm.directed_edge);
+            const auto& meta = ws.staged_meta[i];
+            result.patterns[meta.alg].record(meta.tag, ws.staged_edge[i]);
           }
           if (faults == nullptr) {
-            account_edge(sm.directed_edge);
+            account_edge(ws.staged_edge[i]);
             ++result.total_messages;
             if (recorder != nullptr) {
+              const auto& meta = ws.staged_meta[i];
               recorder->record(num_workers, FlightRecorder::Kind::kDeliver, t,
-                               (std::uint64_t{sm.alg} << 32) | sm.tag,
-                               sm.directed_edge);
+                               (std::uint64_t{meta.alg} << 32) | meta.tag,
+                               ws.staged_edge[i]);
             }
-            route_one(ws.staged_round[i], ws.staged_slot[i], sm.alg, sm.to,
-                      sm.msg);
+            const std::uint64_t ds = ws.staged_dest[i];
+            route_one(static_cast<std::uint32_t>(ds >> 32),
+                      static_cast<std::uint32_t>(ds), ws.staged_hdr[i],
+                      ws.staged_pay.data() + i * W);
           } else {
-            transmit_faulty(sm, 0);
+            RetryMessage<W> rm;
+            rm.meta = ws.staged_meta[i];
+            rm.directed_edge = ws.staged_edge[i];
+            rm.hdr = ws.staged_hdr[i];
+            std::memcpy(rm.pay, ws.staged_pay.data() + i * W,
+                        W * sizeof(std::uint64_t));
+            transmit_faulty(rm, 0);
           }
         }
-        ws.staged.clear();
+        ws.staged_hdr.clear();
+        ws.staged_pay.clear();
+        ws.staged_meta.clear();
         ws.staged_edge.clear();
-        ws.staged_round.clear();
-        ws.staged_slot.clear();
+        ws.staged_dest.clear();
       }
 
       for (const auto d : touched_edges) {
@@ -956,12 +1233,13 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       // scanning all shards' dense destination lanes in shard order but
       // acting only on what it owns. Phase E folds edge loads over a static
       // partition of the directed-edge space (self-zeroing, like the serial
-      // touched_edges sweep). Phase R appends each parked message to its
-      // owner's seg -- the exact structure route_one builds serially,
-      // because source order (shard-merged) and the slot -> owner map are
-      // thread-count independent. Worker 0 additionally takes the tag == T
-      // stream (no consumer slot) and the violation count. No atomics
-      // anywhere: every written cell has exactly one owner. ---
+      // touched_edges sweep). Phase R appends each parked message's lane
+      // record to its owner's seg -- the exact structure route_one builds
+      // serially, because source order (shard-merged) and the slot -> owner
+      // map are thread-count independent. Worker 0 additionally takes the
+      // tag == T stream (routed by its packed finish key) and the violation
+      // count. No atomics anywhere: every written cell has exactly one
+      // owner. ---
       const std::uint64_t num_dir_edges = graph_.num_directed_edges();
       auto barrier_body = [&](std::uint32_t w) {
         auto& ow = workers[w];
@@ -989,13 +1267,17 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
         ow.max_load_partial = local_max;
         for (std::uint32_t v = 0; v < num_workers; ++v) {
           auto& src = workers[v];
-          const std::size_t m = src.staged.size();
+          const std::size_t m = src.staged_hdr.size();
           for (std::size_t i = 0; i < m; ++i) {
-            const std::uint32_t dest = src.staged_round[i];
+            const std::uint64_t ds = src.staged_dest[i];
+            const auto dest = static_cast<std::uint32_t>(ds >> 32);
             if (dest >= kNeverDest) {
               if (dest == kFinishDest && w == 0) {
-                const auto& sm = src.staged[i];
-                scratch.finish_pending.push_back({sm.alg, sm.to, sm.msg});
+                scratch.finish_key.push_back(static_cast<std::uint32_t>(ds));
+                scratch.finish_hdr.push_back(src.staged_hdr[i]);
+                scratch.finish_pay.insert(scratch.finish_pay.end(),
+                                          src.staged_pay.data() + i * W,
+                                          src.staged_pay.data() + (i + 1) * W);
               }
               continue;
             }
@@ -1003,13 +1285,15 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
               if (w == 0) ++ow.violations;
               continue;
             }
-            const std::uint32_t slot = src.staged_slot[i];
+            const auto slot = static_cast<std::uint32_t>(ds);
             const auto* bound =
                 slot_bound.data() + std::size_t{dest} * (num_workers + 1);
             if (slot < bound[w] || slot >= bound[w + 1]) continue;
             auto& seg = acquire_seg(ow, dest);
-            seg.slot.push_back(slot);
-            seg.msg.push_back(src.staged[i].msg);
+            seg.slot.push(slot);
+            seg.hdr.push(src.staged_hdr[i]);
+            std::memcpy(seg.pay.append_n(W), src.staged_pay.data() + i * W,
+                        W * sizeof(std::uint64_t));
           }
         }
       };
@@ -1017,10 +1301,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       for (auto& ws : workers) {
         max_load = std::max(max_load, ws.max_load_partial);
         ws.max_load_partial = 0;
-        ws.staged.clear();
+        ws.staged_hdr.clear();
+        ws.staged_pay.clear();
+        ws.staged_meta.clear();
         ws.staged_edge.clear();
-        ws.staged_round.clear();
-        ws.staged_slot.clear();
+        ws.staged_dest.clear();
       }
       result.causality_violations += workers[0].violations;
       workers[0].violations = 0;
@@ -1065,23 +1350,59 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
     recorder->dump_on("crash_stop_faults");
   }
 
-  // --- Finish and collect outputs. The tag == T messages accumulated in
-  // finish_pending are counting-sorted (stably: delivery order is preserved
-  // within each node's slice) into one arena indexed by (alg, node). A
-  // crash-stopped node never runs on_finish and is never marked completed,
-  // even if it crashed after its last scheduled event. ---
+  // --- Finish and collect outputs. The tag == T lanes accumulated across
+  // the run are counting-sorted by their packed keys (stably: delivery order
+  // is preserved within each node's slice) IN PLACE: compute each message's
+  // final position, then realize the permutation by following its cycles,
+  // swapping one header word and W payload words at a time. No second arena
+  // exists -- at the million-node scale the old out-of-place copy doubled
+  // the largest allocation of the whole run. A crash-stopped node never runs
+  // on_finish and is never marked completed, even if it crashed after its
+  // last scheduled event. ---
   auto& finish_offset = scratch.finish_offset;
+  const std::size_t fcount = scratch.finish_key.size();
+  DASCHED_CHECK_MSG(fcount < std::size_t{kPlaced},
+                    "finish arena exceeds the in-place permutation index range");
   finish_offset.assign(k * n + 1, 0);
-  for (const auto& pm : scratch.finish_pending) {
-    ++finish_offset[std::size_t{pm.alg} * n + pm.to + 1];
+  for (const auto key : scratch.finish_key) {
+    ++finish_offset[std::size_t{key} + 1];
   }
   for (std::size_t i = 1; i <= k * n; ++i) finish_offset[i] += finish_offset[i - 1];
-  scratch.finish_arena.resize(scratch.finish_pending.size());
+  scratch.finish_target.resize(fcount);
   {
     auto& cursor = scratch.bucket_cursor;  // reuse: events array is flattened
     cursor.assign(finish_offset.begin(), finish_offset.end() - 1);
-    for (const auto& pm : scratch.finish_pending) {
-      scratch.finish_arena[cursor[std::size_t{pm.alg} * n + pm.to]++] = pm.msg;
+    for (std::size_t i = 0; i < fcount; ++i) {
+      scratch.finish_target[i] =
+          static_cast<std::uint32_t>(cursor[scratch.finish_key[i]]++);
+    }
+  }
+  {
+    std::uint32_t* const target = scratch.finish_target.data();
+    std::uint32_t* const fh = scratch.finish_hdr.data();
+    std::uint64_t* const fpay = scratch.finish_pay.data();
+    for (std::size_t i = 0; i < fcount; ++i) {
+      if ((target[i] & kPlaced) != 0) continue;
+      if (target[i] == static_cast<std::uint32_t>(i)) {
+        target[i] |= kPlaced;
+        continue;
+      }
+      std::uint32_t tmp_hdr = fh[i];
+      std::uint64_t tmp_pay[W];
+      std::memcpy(tmp_pay, fpay + i * W, W * sizeof(std::uint64_t));
+      std::uint32_t j = target[i];
+      while (j != static_cast<std::uint32_t>(i)) {
+        std::swap(tmp_hdr, fh[j]);
+        for (std::uint32_t q = 0; q < W; ++q) {
+          std::swap(tmp_pay[q], fpay[std::size_t{j} * W + q]);
+        }
+        const std::uint32_t nxt = target[j] & ~kPlaced;
+        target[j] |= kPlaced;
+        j = nxt;
+      }
+      fh[i] = tmp_hdr;
+      std::memcpy(fpay + i * W, tmp_pay, W * sizeof(std::uint64_t));
+      target[i] |= kPlaced;
     }
   }
 
@@ -1094,10 +1415,11 @@ ExecutionResult Executor::run(std::span<const DistributedAlgorithm* const> algor
       if (progress[a][v] != rounds) continue;
       if (faults != nullptr && faults->crash_round(v) < horizon) continue;
       const std::size_t key = a * n + v;
-      const std::span<const VMessage> in{
-          scratch.finish_arena.data() + finish_offset[key],
-          finish_offset[key + 1] - finish_offset[key]};
-      delivered_at_finish += in.size();
+      const std::size_t off = finish_offset[key];
+      const auto cnt = static_cast<std::uint32_t>(finish_offset[key + 1] - off);
+      const InboxView in(scratch.finish_hdr.data() + off,
+                         scratch.finish_pay.data() + off * W, W, cnt);
+      delivered_at_finish += cnt;
       VirtualContext ctx;
       ctx.self_ = v;
       ctx.num_nodes_ = n;

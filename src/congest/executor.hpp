@@ -35,17 +35,20 @@
 // docs/PERFORMANCE.md for the argument and the measured scaling curve.
 //
 // Memory discipline: the message path is allocation-free in steady state.
-// Payloads are stored inline (congest/message.hpp), staged and delivered
-// messages are trivially-copyable PODs, and inboxes are not per-(alg, node,
-// tag) vectors but flat arenas: at the delivery barrier each message is bound
-// to the big-round in which its consumer executes, and at the start of that
-// big-round all of its messages are counting-sorted once into one contiguous
-// arena with CSR offsets per event -- each event's inbox is a slice of that
-// arena. All buffers (worker staging, pending-round buckets, the round arena)
-// live in an ExecScratch owned by the Executor and are recycled across
-// big-rounds and across runs, so a warmed-up run performs zero heap
-// allocations per message; ExecutionResult::hot_path_allocs measures this
-// (see docs/PERFORMANCE.md, "Memory layout & allocation budget").
+// Messages travel as compact SoA lanes sized to the *run width* W (see run()):
+// a packed u32 header lane (sender + length, congest/message.hpp) and a
+// W-strided u64 payload lane, so a message costs 4 + 8*W bytes in staging and
+// in the CSR inbox arena instead of a fixed worst-case record. Inboxes are
+// not per-(alg, node, tag) vectors but flat arenas: at the delivery barrier
+// each message is bound to the big-round in which its consumer executes, and
+// at the start of that big-round all of its messages are counting-sorted once
+// into contiguous lane slices per event -- each event's inbox is an InboxView
+// over those slices. All buffers (worker staging lanes, pending-round
+// buckets, the round arena lanes) live in an ExecScratch owned by the
+// Executor and are recycled across big-rounds and across runs, so a warmed-up
+// run performs zero heap allocations per message;
+// ExecutionResult::hot_path_allocs measures this (see docs/PERFORMANCE.md,
+// "Memory layout & allocation budget").
 //
 // Fault injection: an optional `ExecConfig::faults` hook models an unreliable
 // network (message drops/duplicates, link outages, crash-stop nodes). All
@@ -84,13 +87,26 @@ namespace dasched {
 /// resident while its owner streams messages into it.
 inline constexpr std::size_t kDefaultTileBytes = 32 * 1024;
 
-/// Events per delivery tile for a byte budget: the largest power of two with
-/// tile_events * sizeof(VMessage) <= tile_bytes, clamped to >= 64 so one
-/// inbox-presence bitset word (64 events) never straddles two tiles -- the
-/// word-disjointness is what lets tile owners write the bitset without
-/// atomics. Benches report this value next to their --tile-bytes flag.
-constexpr std::uint32_t tile_events_for_bytes(std::size_t tile_bytes) {
-  const std::size_t budget = tile_bytes / sizeof(VMessage);
+/// Events per delivery tile for a byte budget at a payload width: the largest
+/// power of two with tile_events * arena_message_bytes(width) <= tile_bytes,
+/// clamped to >= 64 so one inbox-presence bitset word (64 events) never
+/// straddles two tiles -- the word-disjointness is what lets tile owners
+/// write the bitset without atomics. Narrower run widths therefore get more
+/// events per tile out of the same byte budget. Benches report this value
+/// next to their --tile-bytes flag.
+///
+/// Contract: tile_bytes must hold at least one max-width message at the given
+/// width -- a budget below arena_message_bytes(width) used to be silently
+/// floored to 64 events (i.e. 64x the requested bytes), which hid
+/// misconfigured geometry; it is now a hard CHECK (tests/test_tiled_barrier.cpp
+/// pins the death).
+constexpr std::uint32_t tile_events_for_bytes(std::size_t tile_bytes,
+                                              std::uint32_t width = kDefaultMaxPayloadWords) {
+  DASCHED_CHECK_MSG(width >= 1 && width <= InlinePayload::kInlineCapacity,
+                    "tile geometry width outside the inline payload capacity");
+  DASCHED_CHECK_MSG(tile_bytes >= arena_message_bytes(width),
+                    "tile_bytes smaller than one max-width arena message");
+  const std::size_t budget = tile_bytes / arena_message_bytes(width);
   std::uint32_t events = 64;
   while (std::size_t{events} * 2 <= budget) events *= 2;
   return events;
@@ -251,13 +267,23 @@ class Executor {
   /// Aborts if cfg.max_payload_words exceeds the compile-time inline payload
   /// capacity (InlinePayload::kInlineCapacity): there is deliberately no heap
   /// spill path on the message hot path -- raise
-  /// -DDASCHED_PAYLOAD_INLINE_WORDS instead.
+  /// -DDASCHED_PAYLOAD_INLINE_WORDS instead. Also aborts if cfg.tile_bytes
+  /// cannot hold even one max-width arena message (see tile_events_for_bytes).
   explicit Executor(const Graph& g, ExecConfig cfg = {});
   ~Executor();
 
   /// Runs all algorithms under the given schedule. Algorithms are borrowed
   /// (must outlive the call). The schedule is validated (gap-free prefix,
   /// strictly increasing big-rounds per (alg, node)) before execution.
+  ///
+  /// The *run width* -- the payload-word stride of every staging and delivery
+  /// lane -- is derived here, once per run: the maximum declared
+  /// StaticFootprint::max_payload_words when every admitted algorithm
+  /// declares one, else cfg.max_payload_words (always clamped to
+  /// [1, cfg.max_payload_words]). Execution then dispatches to a
+  /// width-specialized instantiation of the engine, so every per-message copy
+  /// is a fixed-size move the compiler vectorizes. Results are bit-identical
+  /// across widths >= what the algorithms actually send.
   ExecutionResult run(std::span<const DistributedAlgorithm* const> algorithms,
                       const ScheduleTable& schedule);
 
@@ -267,6 +293,13 @@ class Executor {
                       const ExecTimeFn& exec_time);
 
  private:
+  /// The width-specialized engine body; W is the run width in payload words
+  /// (1..InlinePayload::kInlineCapacity). Instantiated in executor.cpp for
+  /// every supported width by run()'s dispatch.
+  template <std::uint32_t W>
+  ExecutionResult run_impl(std::span<const DistributedAlgorithm* const> algorithms,
+                           const ScheduleTable& schedule);
+
   const Graph& graph_;
   ExecConfig cfg_;
   /// Lazily created on the first parallel run; reused across runs.

@@ -56,12 +56,23 @@ struct StaticFootprint {
     kPathRouting,  // destination {delivered, value}; others {}
   };
 
+  /// Sentinel for max_payload_words: the algorithm declines to bound its
+  /// payload width, so the executor must assume ExecConfig::max_payload_words.
+  static constexpr std::uint32_t kUndeclaredWidth = ~std::uint32_t{0};
+
   Shape shape = Shape::kOpaque;
   Outputs outputs = Outputs::kNone;
   NodeId source = kInvalidNode;    // flood / aggregate root / gossip source
   std::uint32_t radius = 0;        // kThreePhaseAggregate: the h in 3h+1 rounds
   std::uint32_t per_edge_cap = 0;  // kEnvelope: per-directed-edge total bound
   std::uint64_t payload = 0;       // broadcast value / rumor / packet value
+  /// Upper bound on the payload words any single message of this algorithm
+  /// carries, or kUndeclaredWidth. When *every* admitted algorithm declares a
+  /// width, the executor sizes its compact delivery lanes to the maximum
+  /// declared width instead of ExecConfig::max_payload_words -- bytes moved
+  /// per message drop accordingly (docs/PERFORMANCE.md). Independent of
+  /// shape: an opaque footprint may still bound its width.
+  std::uint32_t max_payload_words = kUndeclaredWidth;
   // kFixedPath: consecutive adjacent nodes.
   // perf-ok: declaration-time descriptor built once per algorithm, not hot.
   std::vector<NodeId> path;
@@ -74,6 +85,7 @@ struct StaticFootprint {
     f.outputs = outputs;
     f.source = source;
     f.payload = payload;
+    f.max_payload_words = 1;  // a flooded token is one word
     return f;
   }
 
@@ -83,6 +95,7 @@ struct StaticFootprint {
     f.outputs = Outputs::kAggregate;
     f.source = root;
     f.radius = radius;
+    f.max_payload_words = 2;  // convergecast rows carry {tag, value}
     return f;
   }
 
@@ -92,6 +105,7 @@ struct StaticFootprint {
     f.outputs = Outputs::kGossip;
     f.source = source;
     f.payload = rumor;
+    f.max_payload_words = 1;  // the rumor itself
     return f;
   }
 
@@ -101,13 +115,16 @@ struct StaticFootprint {
     f.outputs = Outputs::kPathRouting;
     f.path = std::move(path);
     f.payload = packet_value;
+    f.max_payload_words = 1;  // the packet value
     return f;
   }
 
-  static StaticFootprint envelope(std::uint32_t per_edge_cap) {
+  static StaticFootprint envelope(std::uint32_t per_edge_cap,
+                                  std::uint32_t max_payload_words = kUndeclaredWidth) {
     StaticFootprint f;
     f.shape = Shape::kEnvelope;
     f.per_edge_cap = per_edge_cap;
+    f.max_payload_words = max_payload_words;
     return f;
   }
 };

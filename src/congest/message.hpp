@@ -16,8 +16,10 @@
 // layout & allocation budget").
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <initializer_list>
+#include <iterator>
 #include <type_traits>
 
 #include "graph/graph.hpp"
@@ -115,12 +117,18 @@ class InlinePayload {
 
  private:
   std::uint32_t len_ = 0;
-  std::uint64_t words_[kInlineCapacity];  // words past len_ are indeterminate
+  // Zero-initialized so the executor's width-specialized lane copies may move
+  // a fixed W words per message without ever reading indeterminate bytes.
+  std::uint64_t words_[kInlineCapacity] = {};
 };
 
 using Payload = InlinePayload;
 
-/// A message as seen by a NodeProgram: sender plus opaque content.
+/// A message as one owning value: sender plus full-capacity inline content.
+/// This is a *boundary* type (tests, examples, documentation of the logical
+/// record) -- the executor's staging and delivery lanes store the compact
+/// width-strided layout below instead, and programs read their inbox through
+/// MsgView/InboxView.
 struct VMessage {
   NodeId from;
   Payload payload;
@@ -131,12 +139,172 @@ struct VMessage {
 static_assert(std::is_trivially_copyable_v<InlinePayload>);
 static_assert(std::is_trivially_copyable_v<VMessage>);
 static_assert(std::is_trivially_destructible_v<VMessage>);
-
-/// Bytes one delivered message occupies in the executor's CSR inbox arena;
-/// the delivery barrier's tile geometry (ExecConfig::tile_bytes) is expressed
-/// in multiples of this. The alignment assert keeps tile boundaries on the
-/// arena's natural 8-byte grid.
-inline constexpr std::size_t kArenaMessageBytes = sizeof(VMessage);
 static_assert(alignof(VMessage) == alignof(std::uint64_t));
+
+// ---------------------------------------------------------------------------
+// Compact lane layout (the width-dispatch layer).
+//
+// The executor never moves VMessage values through staging or the CSR inbox.
+// Messages travel as two parallel lanes sized once per run to the *run width*
+// W (the largest payload any admitted algorithm may send):
+//
+//   header lane : one u32 per message -- sender id and payload length packed
+//                 into 32 bits (see pack_msg_header below)
+//   payload lane: W u64 words per message, densely strided (message i's words
+//                 live at [i*W, i*W + W))
+//
+// so a delivered message costs 4 + 8*W bytes instead of sizeof(VMessage)
+// regardless of what the algorithms actually send. NodePrograms observe the
+// lanes through the view types below; nothing outside this layer may reason
+// about sizeof(VMessage) (lint_determinism.py enforces this).
+
+/// Bits of the packed header reserved for the payload length. Sized to the
+/// compile-time inline capacity so raising DASCHED_PAYLOAD_INLINE_WORDS
+/// automatically widens the length field (and narrows the sender field).
+inline constexpr std::uint32_t kMsgHeaderLenBits =
+    std::uint32_t{std::bit_width(InlinePayload::kInlineCapacity)};
+inline constexpr std::uint32_t kMsgHeaderFromBits = 32 - kMsgHeaderLenBits;
+
+/// Largest node count addressable by a packed header's sender field. The
+/// executor checks n against this at the start of every run; beyond it the
+/// header would need to grow to 64 bits (a deliberate future fork, not a
+/// silent truncation).
+inline constexpr std::uint64_t kMaxPackedHeaderNodes = std::uint64_t{1}
+                                                       << kMsgHeaderFromBits;
+static_assert(kMsgHeaderLenBits >= 1 && kMsgHeaderLenBits < 16);
+
+inline constexpr std::uint32_t pack_msg_header(NodeId from, std::uint32_t len) {
+  return (len << kMsgHeaderFromBits) | from;
+}
+inline constexpr NodeId msg_header_from(std::uint32_t header) {
+  return header & (static_cast<std::uint32_t>(kMaxPackedHeaderNodes - 1));
+}
+inline constexpr std::uint32_t msg_header_len(std::uint32_t header) {
+  return header >> kMsgHeaderFromBits;
+}
+
+/// Bytes one delivered message occupies in the compact CSR inbox arena at a
+/// given run width: a packed u32 header plus `width` u64 payload words. The
+/// delivery barrier's tile geometry (ExecConfig::tile_bytes) is expressed in
+/// multiples of this.
+inline constexpr std::size_t arena_message_bytes(std::uint32_t width) {
+  return sizeof(std::uint32_t) + std::size_t{width} * sizeof(std::uint64_t);
+}
+
+/// Read-only view of one message's payload words inside a lane. Mirrors the
+/// const slice of InlinePayload's interface so NodeProgram code reads
+/// identically against either; converts implicitly to InlinePayload for the
+/// rare consumer that stores a copy.
+class PayloadView {
+ public:
+  using value_type = std::uint64_t;
+
+  PayloadView() = default;
+  PayloadView(const std::uint64_t* words, std::uint32_t len) : words_(words), len_(len) {}
+
+  std::uint32_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  std::uint64_t at(std::uint32_t i) const {
+    DASCHED_CHECK_LT(i, len_, "payload index out of range");
+    return words_[i];
+  }
+  std::uint64_t operator[](std::uint32_t i) const {
+    DASCHED_DCHECK(i < len_);
+    return words_[i];
+  }
+
+  std::uint64_t front() const { return at(0); }
+  std::uint64_t back() const { return at(len_ - 1); }
+
+  const std::uint64_t* data() const { return words_; }
+  const std::uint64_t* begin() const { return words_; }
+  const std::uint64_t* end() const { return words_ + len_; }
+
+  operator InlinePayload() const {  // NOLINT(google-explicit-constructor)
+    InlinePayload p;
+    for (std::uint32_t i = 0; i < len_; ++i) p.push_back(words_[i]);
+    return p;
+  }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::uint32_t len_ = 0;
+};
+
+/// A delivered message as seen by a NodeProgram: sender plus payload view.
+/// Structurally identical to VMessage from the program's point of view
+/// (`m.from`, `m.payload.at(0)`, ...) but borrows the arena lanes instead of
+/// owning 8*kInlineCapacity payload bytes.
+struct MsgView {
+  NodeId from;
+  PayloadView payload;
+};
+
+/// One node's inbox for one virtual round: `count` consecutive messages of a
+/// single (algorithm, round) bucket inside the compact lanes. Iteration
+/// yields MsgView values, so `for (const auto& m : ctx.inbox())` compiles and
+/// behaves exactly as it did over std::span<const VMessage>.
+class InboxView {
+ public:
+  InboxView() = default;
+  InboxView(const std::uint32_t* headers, const std::uint64_t* payload_words,
+            std::uint32_t width, std::uint32_t count)
+      : headers_(headers), payload_words_(payload_words), width_(width), count_(count) {}
+
+  std::uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  MsgView operator[](std::uint32_t i) const {
+    DASCHED_DCHECK(i < count_);
+    const std::uint32_t h = headers_[i];
+    return {msg_header_from(h),
+            PayloadView(payload_words_ + std::size_t{i} * width_, msg_header_len(h))};
+  }
+
+  MsgView front() const {
+    DASCHED_CHECK_MSG(count_ > 0, "front() on an empty inbox");
+    return (*this)[0];
+  }
+  MsgView back() const {
+    DASCHED_CHECK_MSG(count_ > 0, "back() on an empty inbox");
+    return (*this)[count_ - 1];
+  }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = MsgView;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator() = default;
+    Iterator(const InboxView* view, std::uint32_t i) : view_(view), i_(i) {}
+
+    MsgView operator*() const { return (*view_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) { return a.i_ == b.i_; }
+
+   private:
+    const InboxView* view_ = nullptr;
+    std::uint32_t i_ = 0;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, count_); }
+
+ private:
+  const std::uint32_t* headers_ = nullptr;
+  const std::uint64_t* payload_words_ = nullptr;
+  std::uint32_t width_ = 0;
+  std::uint32_t count_ = 0;
+};
 
 }  // namespace dasched

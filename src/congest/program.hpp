@@ -42,8 +42,11 @@ class VirtualContext {
   /// Virtual round being executed, 1..T (T+1 during on_finish).
   std::uint32_t vround() const { return vround_; }
 
-  /// Messages sent to this node in round vround()-1.
-  std::span<const VMessage> inbox() const { return inbox_; }
+  /// Messages sent to this node in round vround()-1. The view borrows the
+  /// executor's compact delivery lanes; iteration yields MsgView values with
+  /// the same member shape (`m.from`, `m.payload`) the old
+  /// std::span<const VMessage> inbox exposed.
+  InboxView inbox() const { return inbox_; }
 
   /// Incident edges (neighbor id + undirected edge id), sorted by neighbor.
   std::span<const HalfEdge> neighbors() const { return neighbors_; }
@@ -52,9 +55,9 @@ class VirtualContext {
   /// Sends one message to a neighbor, delivered at round vround()+1.
   /// At most one message per neighbor per round (CONGEST bandwidth);
   /// disallowed during on_finish.
-  void send(NodeId neighbor, Payload payload) {
+  void send(NodeId neighbor, const Payload& payload) {
     DASCHED_CHECK_MSG(send_fn_ != nullptr, "send() called during on_finish");
-    send_fn_(sink_, neighbor, std::move(payload));
+    send_fn_(sink_, neighbor, payload);
   }
 
   /// Private per-node randomness, deterministic per (algorithm, node).
@@ -62,12 +65,12 @@ class VirtualContext {
 
  private:
   friend class Executor;
-  using SendFn = void (*)(void* sink, NodeId neighbor, Payload payload);
+  using SendFn = void (*)(void* sink, NodeId neighbor, const Payload& payload);
 
   NodeId self_ = 0;
   NodeId num_nodes_ = 0;
   std::uint32_t vround_ = 0;
-  std::span<const VMessage> inbox_;
+  InboxView inbox_;
   std::span<const HalfEdge> neighbors_;
   SendFn send_fn_ = nullptr;
   void* sink_ = nullptr;

@@ -46,6 +46,13 @@ class HardInstanceAlgorithm final : public DistributedAlgorithm {
   std::uint32_t rounds() const override { return 2 * layers_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
 
+  /// Spine/member exchanges are single-word state values.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 1;
+    return f;
+  }
+
   /// Oracle: the state spine v_p should hold after absorbing S_p's replies.
   std::uint64_t expected_spine_state(NodeId p) const;
 

@@ -97,6 +97,12 @@ class ClusterLayerAlgorithm final : public DistributedAlgorithm {
         query_cap_(query_cap) {}
 
   std::string name() const override { return "cluster-layer"; }
+  /// Widest message is a {tag, label} pair.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 2;
+    return f;
+  }
   std::uint32_t rounds() const override { return hop_cap_ + 1 + query_cap_; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
 

@@ -30,6 +30,12 @@ class MinIdSeedBroadcast final : public DistributedAlgorithm {
       : DistributedAlgorithm(base_seed), diameter_(diameter_bound), words_(words) {}
 
   std::string name() const override { return "min-id-seed-broadcast"; }
+  /// Widest message is the pipelined word {tag, index, word}: three words.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 3;
+    return f;
+  }
   std::uint32_t rounds() const override { return 2 * diameter_ + words_ + 3; }
   std::unique_ptr<NodeProgram> make_program(NodeId node) const override;
 

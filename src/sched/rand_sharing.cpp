@@ -50,6 +50,13 @@ class SharingLayerAlgorithm final : public DistributedAlgorithm {
         slack_(slack) {}
 
   std::string name() const override { return "rand-sharing-layer"; }
+  /// Pattern is data/seed-driven (opaque), but every token message is the
+  /// fixed record {label, sub, word, hop}: four words.
+  StaticFootprint static_footprint() const override {
+    StaticFootprint f = StaticFootprint::opaque();
+    f.max_payload_words = 4;
+    return f;
+  }
   std::uint32_t rounds() const override {
     // H + Theta(s): the pipelining delay of a token is bounded by the number
     // of smaller-keyed tokens it meets, empirically < 2s across topologies;

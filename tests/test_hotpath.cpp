@@ -87,7 +87,12 @@ TEST(InlinePayloadDeathTest, PushBeyondCapacityAborts) {
 
 TEST(InlinePayloadDeathTest, OversizedConstructionAborts) {
   EXPECT_DEATH(Payload(InlinePayload::kInlineCapacity + 1, 1), "word budget");
-  EXPECT_DEATH((Payload{1, 2, 3, 4, 5, 6}), "word budget");
+  // The initializer-list constructor enforces the same budget. Nine words
+  // overflow both the default capacity (5) and the CI compile-option smoke
+  // (-DDASCHED_PAYLOAD_INLINE_WORDS=8).
+  if constexpr (InlinePayload::kInlineCapacity < 9) {
+    EXPECT_DEATH((Payload{1, 2, 3, 4, 5, 6, 7, 8, 9}), "word budget");
+  }
 }
 
 TEST(InlinePayloadDeathTest, ExecutorRejectsConfigsBeyondInlineCapacity) {
@@ -289,6 +294,118 @@ TEST(HotPathAllocations, WarmedEngineReportsZeroHotPathAllocs) {
     EXPECT_EQ(steady.hot_path_allocs, 0u)
         << "steady-state big-round loop allocated (threads=" << threads << ")";
     EXPECT_EQ(executor.run(algos, schedule).hot_path_allocs, 0u);
+  }
+}
+
+// --- The width-specialization matrix. The engine derives one payload width
+// per run and dispatches to a width-specialized run_impl<W>
+// (congest/executor.cpp); every supported width must reproduce the
+// fingerprints of the fixed-width engine this layout replaced, bit for bit,
+// clean and faulty, at every thread count. The goldens below were captured
+// from the pre-compaction engine on this exact workload -- they pin the
+// delivery order, the fault fates, and the outputs across the layout change
+// and must never be re-derived from the current binary. ---
+
+/// Order-sensitive flood at an exact payload width: the accumulator chains
+/// (acc >> 7) through every absorbed word, so any reordering or corruption
+/// of inbox contents changes the fingerprint.
+class WidthProgram final : public NodeProgram {
+ public:
+  WidthProgram(NodeId self, std::uint32_t width) : self_(self), width_(width) {}
+  void on_round(VirtualContext& ctx) override {
+    absorb(ctx);
+    Payload p;
+    for (std::uint32_t q = 0; q < width_; ++q) {
+      p.push_back((std::uint64_t{self_} << 32) ^ (std::uint64_t{ctx.vround()} << 8) ^ q);
+    }
+    for (const auto& h : ctx.neighbors()) ctx.send(h.neighbor, p);
+  }
+  void on_finish(VirtualContext& ctx) override { absorb(ctx); }
+  std::vector<std::uint64_t> output() const override { return {acc_}; }
+
+ private:
+  void absorb(VirtualContext& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      acc_ ^= 0x9e3779b97f4a7c15ull + m.from;
+      for (const auto w : m.payload) acc_ += w ^ (acc_ >> 7);
+    }
+  }
+  NodeId self_;
+  std::uint32_t width_;
+  std::uint64_t acc_ = 0;
+};
+
+/// Deliberately does NOT declare a footprint payload width: the run width
+/// falls back to cfg.max_payload_words, which the test sweeps -- pinning
+/// every run_impl<W> instantiation in turn.
+class WidthAlgorithm final : public DistributedAlgorithm {
+ public:
+  WidthAlgorithm(std::uint32_t width, std::uint32_t rounds, std::uint64_t seed)
+      : DistributedAlgorithm(seed), width_(width), rounds_(rounds) {}
+  std::string name() const override { return "width-flood"; }
+  std::uint32_t rounds() const override { return rounds_; }
+  std::unique_ptr<NodeProgram> make_program(NodeId node) const override {
+    return std::make_unique<WidthProgram>(node, width_);
+  }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t rounds_;
+};
+
+struct WidthGolden {
+  std::uint32_t width;
+  std::uint64_t clean;
+  std::uint64_t faulty;
+};
+
+// Captured from the pre-change engine (fixed-width VMessage arenas); see the
+// section comment above. Do not regenerate.
+constexpr WidthGolden kWidthGoldens[] = {
+    {1u, 0x8086ca339a15e153ull, 0xebb394a98fb09179ull},
+    {2u, 0x27a35e1efb2dba43ull, 0x04554c82c9c18771ull},
+    {3u, 0xa5be3d5b36f65f97ull, 0x36c13c50954f6766ull},
+    {4u, 0x8b083eb6db62bcd3ull, 0xb1a26ff3fb0d5fc1ull},
+    {5u, 0xca9d4f3545008647ull, 0x488d3e7e7a9bd5d9ull},
+};
+
+TEST(WidthMatrix, EveryWidthMatchesPreChangeGoldensCleanAndFaulty) {
+  Rng rng(11);
+  const Graph g = make_gnp_connected(150, 6.0 / 150, rng);
+  for (const auto& golden : kWidthGoldens) {
+    SCOPED_TRACE("width=" + std::to_string(golden.width));
+    std::vector<std::unique_ptr<WidthAlgorithm>> owned;
+    std::vector<const DistributedAlgorithm*> algos;
+    std::vector<std::uint32_t> delays;
+    for (std::size_t a = 0; a < 6; ++a) {
+      owned.push_back(std::make_unique<WidthAlgorithm>(golden.width, 8, 900 + a));
+      algos.push_back(owned.back().get());
+      delays.push_back(static_cast<std::uint32_t>(a));
+    }
+    const auto schedule = ScheduleTable::from_delays(algos, g.num_nodes(), delays);
+
+    FaultPlan plan = messy_plan();
+    add_random_crashes(plan, g.num_nodes(), 3, 10);
+    const FaultInjector injector(g, plan);
+    RetryPolicy retry;
+    retry.max_retries = 2;
+    const auto stretched = stretch_for_retries(schedule, retry);
+
+    for (const std::uint32_t threads : {0u, 2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      ExecConfig cfg;
+      cfg.max_payload_words = golden.width;
+      cfg.num_threads = threads;
+      const auto clean = Executor(g, cfg).run(algos, schedule);
+      EXPECT_TRUE(clean.all_completed());
+      EXPECT_EQ(result_fingerprint(clean), golden.clean);
+
+      ExecConfig fcfg = cfg;
+      fcfg.faults = &injector;
+      fcfg.retry = retry;
+      const auto faulty = Executor(g, fcfg).run(algos, stretched);
+      EXPECT_EQ(result_fingerprint(faulty), golden.faulty);
+    }
   }
 }
 

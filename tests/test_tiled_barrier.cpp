@@ -64,20 +64,54 @@ void expect_identical(const ExecutionResult& a, const ExecutionResult& b) {
 // --- Tile geometry derivation. ---
 
 TEST(TileGeometry, EventsPerTileIsAPowerOfTwoMultipleOf64) {
-  // Degenerate budgets clamp to the 64-event floor (one presence word).
-  EXPECT_EQ(tile_events_for_bytes(0), 64u);
-  EXPECT_EQ(tile_events_for_bytes(1), 64u);
-  EXPECT_EQ(tile_events_for_bytes(64 * sizeof(VMessage) - 1), 64u);
-  // Powers of two: never mid-word tile boundaries.
-  for (const std::size_t bytes : {std::size_t{1} << 12, std::size_t{1} << 15,
-                                  std::size_t{1} << 20, std::size_t{1} << 30}) {
-    const auto ev = tile_events_for_bytes(bytes);
-    EXPECT_GE(ev, 64u);
-    EXPECT_EQ(ev & (ev - 1), 0u) << "not a power of two at " << bytes;
-    EXPECT_LE(std::size_t{ev} * sizeof(VMessage), std::max(bytes, 64 * sizeof(VMessage)));
+  // Small (but legal) budgets clamp to the 64-event floor (one presence word).
+  EXPECT_EQ(tile_events_for_bytes(arena_message_bytes(kDefaultMaxPayloadWords)), 64u);
+  EXPECT_EQ(tile_events_for_bytes(64 * arena_message_bytes(3) - 1, 3), 64u);
+  // Powers of two: never mid-word tile boundaries. Narrower widths pack more
+  // events into the same budget, never fewer.
+  for (std::uint32_t width = 1; width <= InlinePayload::kInlineCapacity; ++width) {
+    std::uint32_t prev = ~0u;
+    for (const std::size_t bytes : {std::size_t{1} << 12, std::size_t{1} << 15,
+                                    std::size_t{1} << 20, std::size_t{1} << 30}) {
+      const auto ev = tile_events_for_bytes(bytes, width);
+      EXPECT_GE(ev, 64u);
+      EXPECT_EQ(ev & (ev - 1), 0u)
+          << "not a power of two at " << bytes << " width " << width;
+      EXPECT_LE(std::size_t{ev} * arena_message_bytes(width),
+                std::max(bytes, 64 * arena_message_bytes(width)));
+    }
+    const auto at_default = tile_events_for_bytes(kDefaultTileBytes, width);
+    EXPECT_LE(at_default, prev == ~0u ? at_default : prev)
+        << "wider messages cannot mean bigger tiles";
+    prev = at_default;
   }
-  // The default: half an L1's worth of arena.
+  // The default at the default width: half an L1's worth of arena.
   EXPECT_EQ(tile_events_for_bytes(kDefaultTileBytes), 512u);
+}
+
+// --- Degenerate budgets are rejected, not silently floored: a tile_bytes
+// below one max-width arena message used to clamp to 64 events and hand back
+// 64x the requested bytes. Both the free function and the executor
+// constructor must refuse such geometry outright. ---
+
+TEST(TileGeometryDeathTest, RejectsBudgetsBelowOneMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH((void)tile_events_for_bytes(0),
+               "tile_bytes smaller than one max-width arena message");
+  EXPECT_DEATH((void)tile_events_for_bytes(arena_message_bytes(3) - 1, 3),
+               "tile_bytes smaller than one max-width arena message");
+  EXPECT_DEATH((void)tile_events_for_bytes(kDefaultTileBytes, 0),
+               "tile geometry width outside the inline payload capacity");
+  EXPECT_DEATH(
+      (void)tile_events_for_bytes(kDefaultTileBytes,
+                                  InlinePayload::kInlineCapacity + 1),
+      "tile geometry width outside the inline payload capacity");
+  Rng rng(3);
+  const auto g = make_gnp_connected(20, 0.3, rng);
+  ExecConfig cfg;
+  cfg.tile_bytes = arena_message_bytes(cfg.max_payload_words) - 1;
+  EXPECT_DEATH((void)Executor(g, cfg),
+               "tile_bytes smaller than one max-width arena message");
 }
 
 // --- tile_bytes is pure tuning: every geometry, every thread count,
@@ -90,9 +124,11 @@ TEST(TiledBarrier, TileBytesIsInvisibleInResults) {
   const auto baseline = Executor(in.g, {}).run(in.algos, in.schedule);
   EXPECT_TRUE(in.problem->verify(baseline).ok());
 
+  // The smallest legal budget (one max-width message) clamps to 64-event
+  // tiles: maximum tile count, every tile over-full.
   for (const std::size_t tile_bytes :
-       {std::size_t{0}, std::size_t{1} << 12, std::size_t{1} << 20,
-        std::size_t{1} << 30}) {
+       {arena_message_bytes(kDefaultMaxPayloadWords), std::size_t{1} << 12,
+        std::size_t{1} << 20, std::size_t{1} << 30}) {
     for (const auto threads : kThreadCounts) {
       SCOPED_TRACE("tile_bytes=" + std::to_string(tile_bytes) +
                    " threads=" + std::to_string(threads));
@@ -123,7 +159,8 @@ TEST(TiledBarrier, EmptyBigRoundsBetweenPopulatedOnes) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     ExecConfig cfg;
     cfg.num_threads = threads;
-    cfg.tile_bytes = 0;  // 64-event tiles: maximum tile count
+    // Smallest legal budget -> 64-event tiles: maximum tile count.
+    cfg.tile_bytes = arena_message_bytes(kDefaultMaxPayloadWords);
     const auto r = Executor(in.g, cfg).run(in.algos, sparse);
     expect_identical(baseline, r);
   }
@@ -219,7 +256,8 @@ TEST(TiledBarrier, RetriesCrossTileBoundariesDeterministically) {
   EXPECT_EQ(baseline.causality_violations, 0u)
       << "the retry-stretched schedule absorbs every retransmission";
   for (const auto threads : kThreadCounts) {
-    for (const std::size_t tile_bytes : {std::size_t{0}, std::size_t{1} << 30}) {
+    for (const std::size_t tile_bytes :
+         {arena_message_bytes(kDefaultMaxPayloadWords), std::size_t{1} << 30}) {
       SCOPED_TRACE("threads=" + std::to_string(threads) +
                    " tile_bytes=" + std::to_string(tile_bytes));
       const auto r = run_with(threads, tile_bytes);
@@ -236,7 +274,8 @@ TEST(TiledBarrier, RetriesCrossTileBoundariesDeterministically) {
 
 TEST(TiledBarrier, ZeroSteadyStateAllocationsThroughTheTiledPath) {
   const auto in = make_instance();
-  for (const std::size_t tile_bytes : {std::size_t{0}, kDefaultTileBytes}) {
+  for (const std::size_t tile_bytes :
+       {arena_message_bytes(kDefaultMaxPayloadWords), kDefaultTileBytes}) {
     SCOPED_TRACE("tile_bytes=" + std::to_string(tile_bytes));
     ExecConfig cfg;
     cfg.num_threads = 4;

@@ -17,6 +17,9 @@ of throughput measurements extracted from the engineering bench reports:
        serial jobs/s under static admission at the highest arrival rate the
        ladder ran (E17.a), plus the executed-mode jobs/s and the cold-start
        profiling speedup (certificates vs solo execution)
+  e18  bench_e18_bytes_per_message --report BENCH_e18.json
+       serial throughput of the width-1 rung of the payload-width ladder
+       (E18.a), plus the compact bytes/message ledger per width
 
 Each entry records its bench id, the headline serial messages/s, and a
 machine key (platform + cpu count + build type), so entries are only ever
@@ -106,10 +109,10 @@ def detect_bench(report):
     """Bench id from the tables the report carries (title prefixes are the
     stable contract; meta.bench is a binary path and varies by build dir)."""
     for bench_id, prefix in (("e13", "E13."), ("e14", "E14."), ("e15", "E15."),
-                             ("e16", "E16."), ("e17", "E17.")):
+                             ("e16", "E16."), ("e17", "E17."), ("e18", "E18.")):
         if find_table(report, prefix, required=False) is not None:
             return bench_id
-    raise SystemExit("report carries no recognized E13/E14/E15/E16/E17 table")
+    raise SystemExit("report carries no recognized E13..E18 table")
 
 
 # --- Per-bench extraction: one trajectory entry from one report. Every
@@ -196,8 +199,28 @@ def extract_e17(report, label):
     }
 
 
+def extract_e18(report, label):
+    ladder = find_table(report, "E18.a")
+    cols = ladder["columns"]
+    if not ladder["rows"]:
+        raise SystemExit("E18.a width ladder is empty")
+    # The headline rung is width 1, the family the compact lanes accelerate
+    # most; the full bytes/message ledger rides along per width.
+    return {
+        "bench": "e18",
+        "messages_per_sec_serial": float(cell(ladder, "1", "messages/s",
+                                              key_column="width")),
+        "bytes_per_message": {
+            row[cols.index("width")]: int(row[cols.index("B/msg")])
+            for row in ladder["rows"]
+        },
+        "fixed_bytes_per_message": int(
+            ladder["rows"][0][cols.index("fixed B/msg")]),
+    }
+
+
 EXTRACTORS = {"e13": extract_e13, "e14": extract_e14, "e15": extract_e15,
-              "e16": extract_e16, "e17": extract_e17}
+              "e16": extract_e16, "e17": extract_e17, "e18": extract_e18}
 
 
 def extract_entry(report, label):
@@ -309,8 +332,26 @@ def verdicts_e17(report):
     return failures
 
 
+def verdicts_e18(report):
+    failures = []
+    ladder = find_table(report, "E18.a")
+    cols = ladder["columns"]
+    for row in ladder["rows"]:
+        width = row[cols.index("width")]
+        if row[cols.index("zero-alloc")] != "yes":
+            failures.append(f"E18.a: width={width} steady-state run allocated")
+        if row[cols.index("identical")] != "yes":
+            failures.append(
+                f"E18.a: width={width} threaded result diverged from serial")
+        if int(row[cols.index("B/msg")]) >= int(row[cols.index("fixed B/msg")]):
+            failures.append(
+                f"E18.a: width={width} compact layout moves no fewer bytes "
+                "than the fixed layout")
+    return failures
+
+
 VERDICTS = {"e13": verdicts_e13, "e14": verdicts_e14, "e15": verdicts_e15,
-            "e16": verdicts_e16, "e17": verdicts_e17}
+            "e16": verdicts_e16, "e17": verdicts_e17, "e18": verdicts_e18}
 
 
 def check_verdicts(report):
@@ -370,6 +411,35 @@ def check(report, doc, tolerance):
             f"{tolerance:.0%} below the best prior entry "
             f"{serial_metric(best):.0f} ({best['label']})"
         )
+
+    # e15 additionally gates on peak RSS at the top ladder rung, so memory
+    # wins are pinned the same way throughput wins are. Only rungs of the
+    # same size are comparable (--max-n reduced ladders never gate against
+    # the full one), and lower is better: regression = more than `tolerance`
+    # above the smallest prior footprint on this machine.
+    rss_now = current.get("peak_rss_mib")
+    if bench_id == "e15" and rss_now is not None:
+        rss_peers = [e for e in peers
+                     if e.get("peak_rss_mib") is not None
+                     and e.get("ladder_top_n") == current.get("ladder_top_n")]
+        if rss_peers:
+            leanest = min(rss_peers, key=lambda e: float(e["peak_rss_mib"]))
+            ceiling = float(leanest["peak_rss_mib"]) * (1.0 + tolerance)
+            print(f"[e15] peak RSS at n={current.get('ladder_top_n')}: "
+                  f"{rss_now:.1f} MiB (best prior on this machine: "
+                  f"{float(leanest['peak_rss_mib']):.1f} [{leanest['label']}], "
+                  f"ceiling at +{tolerance:.0%}: {ceiling:.1f})")
+            if rss_now > ceiling:
+                failures.append(
+                    f"e15: peak RSS regression: {rss_now:.1f} MiB is more "
+                    f"than {tolerance:.0%} above the best prior entry "
+                    f"{float(leanest['peak_rss_mib']):.1f} "
+                    f"({leanest['label']})"
+                )
+        else:
+            print(f"[e15] no prior peak-RSS entries for "
+                  f"n={current.get('ladder_top_n')} on this machine; "
+                  "skipping the RSS comparison")
     return failures
 
 
@@ -456,7 +526,8 @@ def synthetic_e13(serial_mps, zero_alloc="yes", identical="yes"):
     }
 
 
-def synthetic_e15(serial_mps, identical="yes", top_n=1_000_000):
+def synthetic_e15(serial_mps, identical="yes", top_n=1_000_000,
+                  rss=20_000.0):
     return {
         "schema": "dasched.run_report.v1",
         "meta": {"build_type": "Release"},
@@ -471,7 +542,7 @@ def synthetic_e15(serial_mps, identical="yes", top_n=1_000_000):
                      f"{serial_mps * 1.5:.0f}", "1.0", "0.8", "yes", "150.0"],
                     [f"{top_n}", "4000000", "2", "101", "800000000", "3907",
                      "80000.0", f"{serial_mps:.0f}", "1.0", "0.8", identical,
-                     "20000.0"],
+                     f"{rss:.1f}"],
                 ],
             },
         ],
@@ -496,6 +567,28 @@ def synthetic_e16(serial_mps, verified="yes", identical="yes", cache_hits=40):
                     ["2.00", "190", "190", "190", "0", "3", f"{cache_hits}",
                      "0.950", "5", "9", "400.0", "475.0", f"{serial_mps:.0f}",
                      verified, identical],
+                ],
+            },
+        ],
+    }
+
+
+def synthetic_e18(w1_mps, zero_alloc="yes", identical="yes", w1_bytes=36):
+    return {
+        "schema": "dasched.run_report.v1",
+        "meta": {"build_type": "Release"},
+        "tables": [
+            {
+                "title": "E18.a -- bytes per message across payload widths",
+                "columns": ["width", "family", "messages", "B/msg",
+                            "fixed B/msg", "saved %", "ms/run", "messages/s",
+                            "hot-path allocs", "zero-alloc", "identical"],
+                "rows": [
+                    ["1", "gossip/token", "1500000", f"{w1_bytes}", "128",
+                     "71.9", "60.0", f"{w1_mps:.0f}",
+                     "0" if zero_alloc == "yes" else "7", zero_alloc, "yes"],
+                    ["5", "MST edge record", "1500000", "100", "128", "21.9",
+                     "90.0", f"{w1_mps * 0.7:.0f}", "0", "yes", identical],
                 ],
             },
         ],
@@ -548,7 +641,7 @@ def self_test():
             {
                 "label": "seed", "date": "2026-01-01", "machine": me,
                 "bench": "e15", "messages_per_sec_serial": 500_000.0,
-                "ladder_top_n": 1_000_000,
+                "ladder_top_n": 1_000_000, "peak_rss_mib": 20_000.0,
             },
             {
                 "label": "seed", "date": "2026-01-01", "machine": me,
@@ -560,6 +653,10 @@ def self_test():
                 "bench": "e17", "messages_per_sec_serial": 400.0,
                 "arrival_rate": 2.0, "profile_speedup": 3.0,
             },
+            {
+                "label": "seed", "date": "2026-01-01", "machine": me,
+                "bench": "e18", "messages_per_sec_serial": 1_000_000.0,
+            },
         ],
     }
 
@@ -569,6 +666,7 @@ def self_test():
     assert detect_bench(synthetic_e15(1.0)) == "e15"
     assert detect_bench(synthetic_e16(1.0)) == "e16"
     assert detect_bench(synthetic_e17(1.0)) == "e17"
+    assert detect_bench(synthetic_e18(1.0)) == "e18"
 
     # e14: unchanged behavior against a legacy-field baseline.
     assert check(synthetic_e14(990_000, 5.0), baseline, 0.10) == []
@@ -600,6 +698,15 @@ def self_test():
     assert any("E15.a" in f for f in fails), fails
     entry = extract_entry(synthetic_e15(480_000), "x")
     assert entry["ladder_top_n"] == 1_000_000, entry
+    assert entry["peak_rss_mib"] == 20_000.0, entry
+
+    # e15 RSS gate: lower is better, >10% above the leanest prior entry of
+    # the same rung fails; a smaller rung (reduced CI ladder) never gates.
+    assert check(synthetic_e15(480_000, rss=21_900.0), baseline, 0.10) == []
+    fails = check(synthetic_e15(480_000, rss=23_000.0), baseline, 0.10)
+    assert any("peak RSS regression" in f for f in fails), fails
+    assert check(synthetic_e15(480_000, top_n=100_000, rss=99_999.0),
+                 baseline, 0.10) == []
 
     # e16: headline metric is the highest-rate rung; verification, identity,
     # and a live cache all gate.
@@ -626,6 +733,21 @@ def self_test():
     assert any("cover every cache miss" in f for f in fails), fails
     entry = extract_entry(synthetic_e17(390.0), "x")
     assert entry["profile_speedup"] == 3.0 and entry["arrival_rate"] == 2.0, entry
+
+    # e18: headline is the width-1 rung; zero-alloc, identity, and the
+    # compact-beats-fixed bytes ledger all gate.
+    assert check(synthetic_e18(950_000), baseline, 0.10) == []
+    fails = check(synthetic_e18(800_000), baseline, 0.10)
+    assert any("e18: throughput regression" in f for f in fails), fails
+    fails = check(synthetic_e18(950_000, zero_alloc="NO"), baseline, 0.10)
+    assert any("allocated" in f for f in fails), fails
+    fails = check(synthetic_e18(950_000, identical="NO"), baseline, 0.10)
+    assert any("diverged" in f for f in fails), fails
+    fails = check(synthetic_e18(950_000, w1_bytes=128), baseline, 0.10)
+    assert any("no fewer bytes" in f for f in fails), fails
+    entry = extract_entry(synthetic_e18(950_000), "x")
+    assert entry["bytes_per_message"] == {"1": 36, "5": 100}, entry
+    assert entry["fixed_bytes_per_message"] == 128, entry
 
     # A foreign machine key skips the throughput comparison but keeps verdicts.
     foreign = {"schema": SCHEMA, "entries": [dict(baseline["entries"][0],
